@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Refresh the tables embedded in EXPERIMENTS.md from a bench log.
+
+EXPERIMENTS.md contains exactly seven fenced blocks, in document order:
+Table 1; Table 2; Figure 1; Figure 11 (two tables); Figure 12 (two
+tables); Figure 13; Figure 14. Each is rebuilt from the matching tables
+of the log, located by their exact '=== <title>' header lines.
+"""
+import re, sys
+
+log = open(sys.argv[1]).read()
+
+def grab(header_prefix, count=1):
+    out = []
+    for m in re.finditer(r"^=== " + re.escape(header_prefix), log, re.M):
+        lines = log[m.start():].split("\n")
+        block, rules = [lines[0]], 0
+        for ln in lines[1:]:
+            block.append(ln)
+            if ln.startswith("+") and set(ln) <= set("+-"):
+                rules += 1
+                if rules == 3:
+                    break
+        out.append("\n".join(block))
+        if len(out) == count:
+            break
+    assert len(out) == count, f"found {len(out)} of {count} '{header_prefix}' tables"
+    return "\n\n".join(out)
+
+blocks = [
+    grab("Table 1 ("),
+    grab("Table 2 ("),
+    grab("Figure 1 ("),
+    grab("Figure 11:", 2),
+    grab("Figure 12:", 2),
+    grab("Figure 13 ("),
+    grab("Figure 14 ("),
+]
+
+md = open("EXPERIMENTS.md").read()
+parts = re.split(r"```.*?```", md, flags=re.S)
+assert len(parts) == len(blocks) + 1, f"expected {len(blocks)} fenced blocks, found {len(parts) - 1}"
+out = parts[0]
+for filler, part in zip(blocks, parts[1:]):
+    out += "```\n" + filler + "\n```" + part
+open("EXPERIMENTS.md", "w").write(out)
+print("refreshed", len(blocks), "blocks")
