@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Circuit Config List Pool Printf Report Simulator Suite Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Ddsim Float List Pool Report Suite Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Array Circuit Config Ddsim Int List Pool Printf Qpp_kernel Report Simulator Suite Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Array Circuit Cnum Config Cost Dd Float List Mat_dd Pool Printf Report Simulator Stats Suite Workloads

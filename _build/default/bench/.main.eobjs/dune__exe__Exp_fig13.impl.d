@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Array Circuit Config Convert Dd Ewma List Mat_dd Pool Printf Report Simulator Timer Vec_dd Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Array Buf Circuit Config Cost Dd Dmav Float Gc Int64 List Mat_dd Pool Printf Report State Stats Timer Workloads

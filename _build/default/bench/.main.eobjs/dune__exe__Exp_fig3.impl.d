@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Circuit Config List Pool Printf Report Simulator Suite Workloads

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Buf Circuit Config Ddsim Float List Pool Printf Report Simulator State Stats Workloads

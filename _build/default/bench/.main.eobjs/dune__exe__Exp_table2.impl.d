@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Circuit Config List Pool Report Simulator Stats Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_fig1 Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig14 Exp_fig3 Exp_table1 Exp_table2 Int64 List Micro Printf String Sys Timer Workloads

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Apply Bechamel Benchmark Buf Convert Cost Dd Ddsim Dmav Gate Hashtbl Instance List Mat_dd Measure Pool Printf Qpp_kernel Report Staged State Suite Test Time Toolkit

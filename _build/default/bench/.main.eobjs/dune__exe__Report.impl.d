@@ -1,0 +1,1 @@
+bench/report.ml: Int List Printf String

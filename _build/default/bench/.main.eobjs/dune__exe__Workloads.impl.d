@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Buf Circuit Int64 Printf Qpp_kernel State Suite Sys Timer

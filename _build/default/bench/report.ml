@@ -1,0 +1,48 @@
+(* Plain-text table/series rendering for the experiment harness. *)
+
+let hrule widths =
+  let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+  "+" ^ String.concat "+" parts ^ "+"
+
+let pad w s =
+  let len = String.length s in
+  if len >= w then s else s ^ String.make (w - len) ' '
+
+let table ~title ~header rows =
+  Printf.printf "\n=== %s ===\n" title;
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left (fun acc row -> Int.max acc (String.length (List.nth row c))) 0 all)
+  in
+  let print_row row =
+    let cells = List.map2 (fun w cell -> " " ^ pad w cell ^ " ") widths row in
+    Printf.printf "|%s|\n" (String.concat "|" cells)
+  in
+  Printf.printf "%s\n" (hrule widths);
+  print_row header;
+  Printf.printf "%s\n" (hrule widths);
+  List.iter print_row rows;
+  Printf.printf "%s\n%!" (hrule widths)
+
+let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n%!")
+
+let section title = Printf.printf "\n######## %s ########\n%!" title
+
+(* Formatting helpers. *)
+
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+
+let time_s ?(timed_out = false) v =
+  if timed_out then Printf.sprintf "> %.1f" v else Printf.sprintf "%.3f" v
+
+let mem_mb bytes = Printf.sprintf "%.2f" (float_of_int bytes /. 1048576.0)
+
+let speedup ?(lower_bound = false) v =
+  if lower_bound then Printf.sprintf "> %.2fx" v else Printf.sprintf "%.2fx" v
+
+let sci v = Printf.sprintf "%.2g" v
+
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)

@@ -1,0 +1,181 @@
+(* flatdd — command-line driver.
+
+   Simulates a named benchmark circuit or an OpenQASM 2.0 file with one of
+   the three engines (flatdd | dd | array) and reports runtime, memory and
+   optionally the per-gate trace and the top amplitudes. *)
+
+open Cmdliner
+
+type engine = Flatdd_engine | Dd_engine | Array_engine
+
+let engine_conv =
+  let parse = function
+    | "flatdd" -> Ok Flatdd_engine
+    | "dd" | "ddsim" -> Ok Dd_engine
+    | "array" | "statevec" -> Ok Array_engine
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (flatdd|dd|array)" s))
+  in
+  let print fmt e =
+    Format.pp_print_string fmt
+      (match e with Flatdd_engine -> "flatdd" | Dd_engine -> "dd" | Array_engine -> "array")
+  in
+  Arg.conv (parse, print)
+
+let fusion_conv =
+  let parse = function
+    | "none" -> Ok Config.No_fusion
+    | "dmav" -> Ok Config.Dmav_aware
+    | s ->
+      (match int_of_string_opt s with
+       | Some k when k >= 1 -> Ok (Config.K_operations k)
+       | _ -> Error (`Msg "fusion is none | dmav | <k> (k-operations)"))
+  in
+  let print fmt = function
+    | Config.No_fusion -> Format.pp_print_string fmt "none"
+    | Config.Dmav_aware -> Format.pp_print_string fmt "dmav"
+    | Config.K_operations k -> Format.fprintf fmt "%d" k
+  in
+  Arg.conv (parse, print)
+
+let load_circuit ~name ~qasm ~n ~gates ~seed =
+  match qasm with
+  | Some path ->
+    let prog = Qasm.of_file path in
+    prog.Qasm.circuit
+  | None ->
+    let fam =
+      match Suite.family_of_name name with
+      | Some f -> f
+      | None ->
+        raise (Invalid_argument (Printf.sprintf "unknown circuit family %S" name))
+    in
+    Suite.generate ?gates ~seed fam ~n
+
+let print_top_amplitudes buf count =
+  let dim = Buf.length buf in
+  let idx = Array.init dim Fun.id in
+  Array.sort
+    (fun a b -> compare (Cnum.norm2 (Buf.get buf b)) (Cnum.norm2 (Buf.get buf a)))
+    idx;
+  Printf.printf "top amplitudes:\n";
+  for k = 0 to Int.min (count - 1) (dim - 1) do
+    let i = idx.(k) in
+    let a = Buf.get buf i in
+    if Cnum.norm2 a > 1e-12 then
+      Printf.printf "  |%d>  %s  (p=%.6f)\n" i (Cnum.to_string a) (Cnum.norm2 a)
+  done
+
+let run engine family qasm n gates seed threads beta epsilon fusion trace top export =
+  try
+    let circuit = load_circuit ~name:family ~qasm ~n ~gates ~seed in
+    Printf.printf "circuit: %s  (%d qubits, %d gates, depth %d)\n" circuit.Circuit.name
+      circuit.Circuit.n (Circuit.num_gates circuit) (Circuit.depth circuit);
+    (match export with
+     | None -> ()
+     | Some path ->
+       (try
+          Qasm_export.to_file path circuit;
+          Printf.printf "exported OpenQASM to %s\n" path
+        with Qasm_export.Unsupported m ->
+          Printf.eprintf "cannot export: %s\n" m));
+    (match engine with
+     | Flatdd_engine ->
+       let cfg =
+         { Config.default with
+           Config.threads; beta; epsilon; fusion; trace }
+       in
+       let r, dt = Timer.time (fun () -> Simulator.simulate cfg circuit) in
+       Printf.printf "engine: flatdd (%d threads, beta=%.2f eps=%.2f)\n" threads beta epsilon;
+       Printf.printf "runtime: %.4f s  (dd %.4f | convert %.4f | dmav %.4f)\n" dt
+         r.Simulator.seconds_dd r.Simulator.seconds_convert r.Simulator.seconds_dmav;
+       (match r.Simulator.converted_at with
+        | None -> Printf.printf "conversion: never (stayed in DD simulation)\n"
+        | Some i ->
+          Printf.printf "conversion: after gate %d\n" i;
+          Printf.printf "dmav kernels: %d cached, %d uncached (%d cache hits)\n"
+            r.Simulator.dmav_gates_cached r.Simulator.dmav_gates_uncached
+            r.Simulator.dmav_cache_hits);
+       Printf.printf "peak memory (modeled): %.2f MB\n"
+         (float_of_int r.Simulator.peak_memory_bytes /. 1048576.0);
+       (match r.Simulator.fusion_stats with
+        | None -> ()
+        | Some s ->
+          Printf.printf "fusion: %d -> %d gates, macs %.3g -> %.3g\n"
+            s.Fusion.gates_in s.Fusion.gates_out s.Fusion.macs_before s.Fusion.macs_after);
+       if trace then
+         List.iter
+           (fun g ->
+              Printf.printf "  gate %4d %-10s %-10s %.6fs dd=%d ewma=%.1f\n"
+                g.Simulator.index g.Simulator.name
+                (match g.Simulator.phase with
+                 | Simulator.Dd_phase -> "dd"
+                 | Simulator.Conversion -> "convert"
+                 | Simulator.Dmav_phase ->
+                   if g.Simulator.cached = Some true then "dmav+cache" else "dmav")
+                g.Simulator.seconds g.Simulator.dd_size g.Simulator.ewma)
+           r.Simulator.trace;
+       if top > 0 then print_top_amplitudes (Simulator.amplitudes r) top
+     | Dd_engine ->
+       let r, dt = Timer.time (fun () -> Ddsim.run circuit) in
+       Printf.printf "engine: dd (single thread)\n";
+       Printf.printf "runtime: %.4f s\n" dt;
+       Printf.printf "final DD size: %d nodes (peak %d)\n"
+         (Dd.vnode_count r.Ddsim.state) r.Ddsim.peak_nodes;
+       Printf.printf "peak memory (modeled): %.2f MB\n"
+         (float_of_int r.Ddsim.peak_memory_bytes /. 1048576.0);
+       if top > 0 then
+         print_top_amplitudes (Ddsim.final_amplitudes r circuit.Circuit.n) top
+     | Array_engine ->
+       let st, dt =
+         Timer.time (fun () ->
+             Pool.with_pool threads (fun pool -> Apply.run ~pool circuit))
+       in
+       Printf.printf "engine: array (%d threads)\n" threads;
+       Printf.printf "runtime: %.4f s\n" dt;
+       Printf.printf "memory: %.2f MB\n"
+         (float_of_int (Buf.memory_bytes st.State.amps) /. 1048576.0);
+       if top > 0 then print_top_amplitudes st.State.amps top);
+    0
+  with
+  | Invalid_argument m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+  | Qasm.Parse_error _ as e ->
+    Format.eprintf "%a@." Qasm.pp_error e;
+    1
+
+let cmd =
+  let engine =
+    Arg.(value & opt engine_conv Flatdd_engine & info [ "e"; "engine" ] ~doc:"Engine: flatdd, dd or array.")
+  in
+  let family =
+    Arg.(value & opt string "supremacy"
+         & info [ "c"; "circuit" ] ~doc:"Benchmark circuit family (dnn, adder, ghz, vqe, knn, swaptest, supremacy, qft, grover, bv, qpe).")
+  in
+  let qasm =
+    Arg.(value & opt (some file) None & info [ "qasm" ] ~doc:"Simulate an OpenQASM 2.0 file instead of a generator.")
+  in
+  let n = Arg.(value & opt int 14 & info [ "n"; "qubits" ] ~doc:"Number of qubits.") in
+  let gates =
+    Arg.(value & opt (some int) None & info [ "g"; "gates" ] ~doc:"Approximate gate count for depth-parameterized families.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Circuit generator seed.") in
+  let threads = Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc:"Worker threads.") in
+  let beta = Arg.(value & opt float 0.9 & info [ "beta" ] ~doc:"EWMA smoothing factor.") in
+  let epsilon = Arg.(value & opt float 2.0 & info [ "epsilon" ] ~doc:"Conversion threshold.") in
+  let fusion =
+    Arg.(value & opt fusion_conv Config.No_fusion & info [ "fusion" ] ~doc:"Gate fusion: none, dmav, or an integer k for k-operations.")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-gate trace.") in
+  let top = Arg.(value & opt int 8 & info [ "top" ] ~doc:"Print the k most likely basis states (0 disables).") in
+  let export =
+    Arg.(value & opt (some string) None
+         & info [ "export" ] ~doc:"Write the circuit as OpenQASM 2.0 to this path before simulating.")
+  in
+  let term =
+    Term.(const run $ engine $ family $ qasm $ n $ gates $ seed $ threads $ beta
+          $ epsilon $ fusion $ trace $ top $ export)
+  in
+  Cmd.v (Cmd.info "flatdd" ~doc:"Hybrid decision-diagram / flat-array quantum circuit simulator") term
+
+let () = exit (Cmd.eval' cmd)

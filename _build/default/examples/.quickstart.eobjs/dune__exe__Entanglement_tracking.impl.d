@@ -1,0 +1,1 @@
+examples/entanglement_tracking.ml: Analysis Apply Array Circuit Dd Ewma Fun List Mat_dd Printf State Supremacy Vec_dd

@@ -1,0 +1,1 @@
+examples/entanglement_tracking.mli:

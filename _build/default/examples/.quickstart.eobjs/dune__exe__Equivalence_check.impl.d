@@ -1,0 +1,1 @@
+examples/equivalence_check.ml: Array Circuit Cnum Equiv Gate List Printf Qasm Qasm_export Qft String

@@ -1,0 +1,1 @@
+examples/grover_search.ml: Buf Circuit Cnum Config Grover List Printf Simulator

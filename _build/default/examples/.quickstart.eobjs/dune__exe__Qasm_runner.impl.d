@@ -1,0 +1,1 @@
+examples/qasm_runner.ml: Array Bits Circuit Config Format Int List Printf Qasm Simulator State String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buf Cnum Config Dnn Ghz List Printf Rng Simulator State

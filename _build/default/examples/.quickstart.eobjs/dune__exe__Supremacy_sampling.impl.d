@@ -1,0 +1,1 @@
+examples/supremacy_sampling.ml: Apply Buf Circuit Cnum Config Printf Rng Simulator State Supremacy Timer

@@ -1,0 +1,1 @@
+examples/supremacy_sampling.mli:

@@ -1,0 +1,1 @@
+examples/vqe_energy.ml: Array Config List Printf Rng Simulator State Vqe

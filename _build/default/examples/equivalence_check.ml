@@ -1,0 +1,59 @@
+(* Circuit equivalence checking on decision diagrams — the DD substrate
+   doing a second job: verifying that a "compiled" circuit still
+   implements the original unitary, and that circuits survive a round
+   trip through the OpenQASM exporter.
+
+     dune exec examples/equivalence_check.exe *)
+
+let verdict_string = function
+  | Equiv.Equivalent -> "equivalent"
+  | Equiv.Equivalent_up_to_phase w ->
+    Printf.sprintf "equivalent up to global phase %s" (Cnum.to_string w)
+  | Equiv.Not_equivalent -> "NOT equivalent"
+
+let () =
+  (* 1. A hand "optimization": replace each SWAP network with a direct
+     two-qubit swap matrix and check nothing changed. *)
+  let b1 = Circuit.Builder.create 6 in
+  Circuit.Builder.h b1 0;
+  Circuit.Builder.cx b1 ~control:0 ~target:3;
+  Circuit.Builder.swap b1 1 4;               (* 3 CX gates *)
+  Circuit.Builder.t b1 2;
+  let decomposed = Circuit.Builder.finish b1 in
+  let b2 = Circuit.Builder.create 6 in
+  Circuit.Builder.h b2 0;
+  Circuit.Builder.cx b2 ~control:0 ~target:3;
+  Circuit.Builder.add b2
+    (Circuit.Two { name = "swap"; matrix = Gate.swap2; q_hi = 4; q_lo = 1 });
+  Circuit.Builder.t b2 2;
+  let direct = Circuit.Builder.finish b2 in
+  Printf.printf "swap decomposition vs direct matrix: %s\n"
+    (verdict_string (Equiv.check decomposed direct));
+
+  (* 2. A broken "optimization": drop one of the three CX gates. *)
+  let broken =
+    Circuit.make 6
+      (List.filteri (fun i _ -> i <> 3) (Array.to_list decomposed.Circuit.ops))
+  in
+  Printf.printf "with one CX dropped:                  %s\n"
+    (verdict_string (Equiv.check decomposed broken));
+
+  (* 3. Global phase: rz vs u1 implement the same gate up to e^{-iθ/2}. *)
+  let rz = Circuit.make 2
+      [ Circuit.Single { name = "rz"; matrix = Gate.rz 1.1; target = 0; controls = [] } ]
+  in
+  let u1 = Circuit.make 2
+      [ Circuit.Single { name = "u1"; matrix = Gate.phase 1.1; target = 0; controls = [] } ]
+  in
+  Printf.printf "rz(1.1) vs u1(1.1):                   %s\n"
+    (verdict_string (Equiv.check rz u1));
+
+  (* 4. Round trip through the OpenQASM exporter. *)
+  let c = Qft.circuit 5 in
+  let text = Qasm_export.to_string c in
+  let back = (Qasm.of_string text).Qasm.circuit in
+  Printf.printf "QFT-5 -> QASM -> parse -> compare:    %s\n"
+    (verdict_string (Equiv.check c back));
+  Printf.printf "\nexported QFT-5 header:\n%s...\n"
+    (String.concat "\n"
+       (List.filteri (fun i _ -> i < 6) (String.split_on_char '\n' text)))

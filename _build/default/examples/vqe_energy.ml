@@ -1,0 +1,66 @@
+(* Variational quantum eigensolver workflow on a transverse-field Ising
+   chain: H = -J Σ Z_i Z_{i+1} - h Σ X_i.
+
+   A hardware-efficient RY/RZ + CZ-ring ansatz with explicit parameters is
+   optimized by stochastic hill climbing; each candidate state is produced
+   by FlatDD and its energy evaluated as an expectation of Pauli strings.
+   This is the "irregular circuit" workload from the paper's introduction,
+   used for something useful.
+
+     dune exec examples/vqe_energy.exe *)
+
+let ising_hamiltonian n ~j ~h =
+  let zz = List.init (n - 1) (fun i -> (-.j, [ (i, State.Z); (i + 1, State.Z) ])) in
+  let x = List.init n (fun i -> (-.h, [ (i, State.X) ])) in
+  zz @ x
+
+let () =
+  let n = 10 and layers = 2 in
+  let j = 1.0 and h = 0.7 in
+  let hamiltonian = ising_hamiltonian n ~j ~h in
+  let cfg = { Config.default with Config.threads = 4 } in
+  let energy angles =
+    let c = Vqe.ansatz ~layers n angles in
+    let r = Simulator.simulate cfg c in
+    let st = State.of_buf n (Simulator.amplitudes r) in
+    State.expectation_pauli st hamiltonian
+  in
+  Printf.printf "TFIM chain: n=%d J=%.2f h=%.2f (%d ansatz parameters)\n" n j h
+    (Vqe.num_params ~layers n);
+
+  (* References: the classical product states reachable without the
+     entangling layers. *)
+  let e_zero = energy (Array.make (Vqe.num_params ~layers n) 0.0) in
+  Printf.printf "starting point E(all-zero angles) = E(|0...0>) = %.6f\n" e_zero;
+
+  (* Stochastic hill climbing: perturb a few random angles, keep the move
+     if the energy drops. *)
+  let rng = Rng.create 7 in
+  let angles = Array.make (Vqe.num_params ~layers n) 0.0 in
+  let best = ref (energy angles) in
+  let accepted = ref 0 in
+  for step = 1 to 150 do
+    let backup = Array.copy angles in
+    let moves = 1 + Rng.int rng 3 in
+    for _ = 1 to moves do
+      let k = Rng.int rng (Array.length angles) in
+      angles.(k) <- angles.(k) +. ((Rng.float rng 0.6) -. 0.3)
+    done;
+    let e = energy angles in
+    if e < !best then begin
+      best := e;
+      incr accepted
+    end
+    else Array.blit backup 0 angles 0 (Array.length angles);
+    if step mod 30 = 0 then
+      Printf.printf "  step %3d: best energy %.6f (%d accepted moves)\n" step !best !accepted
+  done;
+
+  (* The transverse field makes the true ground energy strictly lower than
+     any product state in the Z basis; the optimizer must have found some
+     of that correlation energy. *)
+  Printf.printf "final: E = %.6f, improvement over |0...0> = %.6f\n" !best
+    (e_zero -. !best);
+  if !best < e_zero -. 0.1 then
+    print_endline "VQE found correlation energy beyond the classical state."
+  else print_endline "unexpected: no improvement found."

@@ -1,0 +1,1 @@
+lib/circuit/adder.ml: Bits Circuit Printf Rng

@@ -1,0 +1,1 @@
+lib/circuit/bv.ml: Bits Circuit Printf

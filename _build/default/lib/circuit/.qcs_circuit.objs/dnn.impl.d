@@ -1,0 +1,1 @@
+lib/circuit/dnn.ml: Circuit Int Printf Rng

@@ -1,0 +1,1 @@
+lib/circuit/dnn.mli: Circuit

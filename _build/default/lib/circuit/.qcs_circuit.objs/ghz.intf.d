@@ -1,0 +1,1 @@
+lib/circuit/ghz.mli: Circuit

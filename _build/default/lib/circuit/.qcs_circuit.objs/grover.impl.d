@@ -1,0 +1,1 @@
+lib/circuit/grover.ml: Bits Circuit Float Fun Gate List Printf

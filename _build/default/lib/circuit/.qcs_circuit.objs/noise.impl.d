@@ -1,0 +1,1 @@
+lib/circuit/noise.ml: Array Circuit Gate List Rng

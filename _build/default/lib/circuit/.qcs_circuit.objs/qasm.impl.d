@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Array Circuit Filename Float Format Gate Hashtbl List Printf String

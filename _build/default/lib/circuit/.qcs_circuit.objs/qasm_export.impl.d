@@ -1,0 +1,1 @@
+lib/circuit/qasm_export.ml: Array Buffer Circuit Cnum Float Gate List Printf

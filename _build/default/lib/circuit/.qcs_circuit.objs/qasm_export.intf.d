@@ -1,0 +1,1 @@
+lib/circuit/qasm_export.mli: Circuit Gate

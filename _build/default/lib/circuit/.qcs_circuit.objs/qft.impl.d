@@ -1,0 +1,1 @@
+lib/circuit/qft.ml: Bits Circuit Float Printf

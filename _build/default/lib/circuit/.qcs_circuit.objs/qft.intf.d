@@ -1,0 +1,1 @@
+lib/circuit/qft.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/qpe.ml: Array Circuit Float Fun Printf Qft

@@ -1,0 +1,1 @@
+lib/circuit/qpe.mli: Circuit

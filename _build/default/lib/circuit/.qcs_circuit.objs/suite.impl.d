@@ -1,0 +1,1 @@
+lib/circuit/suite.ml: Adder Bv Dnn Ghz Grover Int List Option Qft Qpe Rng String Supremacy Swaptest Vqe

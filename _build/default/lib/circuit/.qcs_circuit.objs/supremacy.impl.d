@@ -1,0 +1,1 @@
+lib/circuit/supremacy.ml: Array Circuit Float Int List Printf Rng

@@ -1,0 +1,1 @@
+lib/circuit/swaptest.ml: Circuit Fun List Printf Rng

@@ -1,0 +1,1 @@
+lib/circuit/swaptest.mli: Circuit

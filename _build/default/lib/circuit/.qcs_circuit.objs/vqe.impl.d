@@ -1,0 +1,1 @@
+lib/circuit/vqe.ml: Array Circuit Printf Rng

@@ -1,0 +1,1 @@
+lib/circuit/vqe.mli: Circuit

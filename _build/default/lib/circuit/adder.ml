@@ -1,0 +1,72 @@
+(** Cuccaro ripple-carry adder (quant-ph/0410184), the regular arithmetic
+    circuit of the suite. The state stays a computational basis state for
+    the whole run, so its DD has O(n) nodes.
+
+    Register layout on [n = 2k + 2] qubits:
+    - qubit 0: carry-in,
+    - qubits [1 .. 2k]: interleaved b_i (odd) and a_i (even positions),
+    - qubit [2k + 1]: carry-out. *)
+
+let maj b ~c ~bq ~a =
+  Circuit.Builder.cx b ~control:a ~target:bq;
+  Circuit.Builder.cx b ~control:a ~target:c;
+  Circuit.Builder.ccx b ~c1:c ~c2:bq ~target:a
+
+let uma b ~c ~bq ~a =
+  Circuit.Builder.ccx b ~c1:c ~c2:bq ~target:a;
+  Circuit.Builder.cx b ~control:a ~target:c;
+  Circuit.Builder.cx b ~control:c ~target:bq
+
+(* a_i and b_i interleave: a_i at 2i+2, b_i at 2i+1 (i = 0 .. k-1). *)
+let a_q i = (2 * i) + 2
+let b_q i = (2 * i) + 1
+
+let width_of_qubits n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Adder.circuit: qubit count must be even and >= 4";
+  (n - 2) / 2
+
+(** [circuit ?seed n] adds two [k]-bit numbers drawn from [seed] on an
+    [n = 2k+2]-qubit register. The X gates loading the operands are part of
+    the circuit, as in QASMBench. *)
+let circuit ?(seed = 1) n =
+  let k = width_of_qubits n in
+  let rng = Rng.create seed in
+  let av = Rng.int rng (1 lsl k) and bv = Rng.int rng (1 lsl k) in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "adder-%d" n) n in
+  for i = 0 to k - 1 do
+    if Bits.bit av i = 1 then Circuit.Builder.x b (a_q i);
+    if Bits.bit bv i = 1 then Circuit.Builder.x b (b_q i)
+  done;
+  (* Ripple the carry up through MAJ blocks. *)
+  maj b ~c:0 ~bq:(b_q 0) ~a:(a_q 0);
+  for i = 1 to k - 1 do
+    maj b ~c:(a_q (i - 1)) ~bq:(b_q i) ~a:(a_q i)
+  done;
+  Circuit.Builder.cx b ~control:(a_q (k - 1)) ~target:((2 * k) + 1);
+  (* Unwind with UMA blocks, leaving a + b in the b register. *)
+  for i = k - 1 downto 1 do
+    uma b ~c:(a_q (i - 1)) ~bq:(b_q i) ~a:(a_q i)
+  done;
+  uma b ~c:0 ~bq:(b_q 0) ~a:(a_q 0);
+  Circuit.Builder.finish b
+
+(** Expected classical result, for functional tests: [(a, b, sum)]. *)
+let expected ?(seed = 1) n =
+  let k = width_of_qubits n in
+  let rng = Rng.create seed in
+  let av = Rng.int rng (1 lsl k) and bv = Rng.int rng (1 lsl k) in
+  (av, bv, av + bv)
+
+(** Basis index holding the result after simulation: b register contains
+    the low [k] sum bits, carry-out the top bit, a register unchanged. *)
+let expected_basis_index ?(seed = 1) n =
+  let k = width_of_qubits n in
+  let av, _, sum = expected ~seed n in
+  let idx = ref 0 in
+  for i = 0 to k - 1 do
+    if Bits.bit av i = 1 then idx := Bits.set_bit !idx (a_q i);
+    if Bits.bit sum i = 1 then idx := Bits.set_bit !idx (b_q i)
+  done;
+  if Bits.bit sum k = 1 then idx := Bits.set_bit !idx ((2 * k) + 1);
+  !idx

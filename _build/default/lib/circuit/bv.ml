@@ -1,0 +1,21 @@
+(** Bernstein–Vazirani: recovers a hidden bit string with one oracle call.
+    [n] qubits total — [n - 1] input qubits plus the phase ancilla on
+    qubit [n - 1]. *)
+
+let circuit ?(secret = 0b1011) n =
+  if n < 2 then invalid_arg "Bv.circuit: need >= 2 qubits";
+  let secret = secret land ((1 lsl (n - 1)) - 1) in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "bv-%d" n) n in
+  let anc = n - 1 in
+  Circuit.Builder.x b anc;
+  Circuit.Builder.h b anc;
+  for q = 0 to n - 2 do
+    Circuit.Builder.h b q
+  done;
+  for q = 0 to n - 2 do
+    if Bits.bit secret q = 1 then Circuit.Builder.cx b ~control:q ~target:anc
+  done;
+  for q = 0 to n - 2 do
+    Circuit.Builder.h b q
+  done;
+  Circuit.Builder.finish b

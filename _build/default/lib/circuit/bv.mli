@@ -1,0 +1,9 @@
+(** Bernstein–Vazirani: recovers a hidden bit string in one oracle call.
+
+    A regular workload — the state is always a product state — whose
+    functional test is exact: measuring the input register yields the
+    secret with certainty. *)
+
+val circuit : ?secret:int -> int -> Circuit.t
+(** [circuit n] uses [n - 1] input qubits and the phase ancilla at
+    [n - 1]; [secret] is truncated to [n - 1] bits. *)

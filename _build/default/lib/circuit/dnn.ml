@@ -1,0 +1,29 @@
+(** Quantum deep-neural-network ansatz in the style of the QASMBench [dnn]
+    circuits: repeated layers of parameterized single-qubit rotations
+    followed by a CX entangling ladder. Random rotation angles spread the
+    amplitude mass over the whole state space, which is exactly the
+    irregular distribution that defeats pure DD simulation. *)
+
+let gates_per_layer n = (3 * n) + (n - 1)
+
+(** [circuit ?seed ~layers n], [3n] rotations + [n-1] CX per layer. *)
+let circuit ?(seed = 7) ~layers n =
+  let rng = Rng.create seed in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "dnn-%d" n) n in
+  for _layer = 1 to layers do
+    for q = 0 to n - 1 do
+      Circuit.Builder.ry b (Rng.angle rng) q;
+      Circuit.Builder.rz b (Rng.angle rng) q;
+      Circuit.Builder.ry b (Rng.angle rng) q
+    done;
+    for q = 0 to n - 2 do
+      Circuit.Builder.cx b ~control:q ~target:(q + 1)
+    done
+  done;
+  Circuit.Builder.finish b
+
+(** Pick a layer count so the circuit has roughly [gates] operations,
+    mirroring the paper's gate counts (e.g. DNN-16 with 2032 gates). *)
+let circuit_with_gates ?(seed = 7) ~gates n =
+  let layers = Int.max 1 (gates / gates_per_layer n) in
+  circuit ~seed ~layers n

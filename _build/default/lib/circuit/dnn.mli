@@ -1,0 +1,13 @@
+(** Quantum deep-neural-network ansatz (QASMBench-[dnn]-style): layers of
+    random RY/RZ/RY rotations followed by a CX entangling ladder. The
+    canonical {e irregular} workload — amplitudes spread over the whole
+    state space within a few layers. *)
+
+val gates_per_layer : int -> int
+(** [3n] rotations + [n-1] CX. *)
+
+val circuit : ?seed:int -> layers:int -> int -> Circuit.t
+
+val circuit_with_gates : ?seed:int -> gates:int -> int -> Circuit.t
+(** Chooses the layer count to approximate a total gate budget, mirroring
+    the paper's per-row gate counts. *)

@@ -1,0 +1,11 @@
+(** GHZ-state preparation: one Hadamard followed by a CX chain. The state
+    vector keeps exactly two non-zero amplitudes throughout, the
+    most DD-friendly circuit in the suite. *)
+
+let circuit n =
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "ghz-%d" n) n in
+  Circuit.Builder.h b 0;
+  for q = 0 to n - 2 do
+    Circuit.Builder.cx b ~control:q ~target:(q + 1)
+  done;
+  Circuit.Builder.finish b

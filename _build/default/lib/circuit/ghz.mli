@@ -1,0 +1,6 @@
+(** GHZ-state preparation — the most regular circuit of the suite. *)
+
+val circuit : int -> Circuit.t
+(** [circuit n] is one Hadamard followed by an [n-1]-long CX chain; the
+    final state is (|0…0⟩ + |1…1⟩)/√2 and its DD never exceeds [n]
+    nodes. *)

@@ -1,0 +1,48 @@
+(** Grover search for a single marked basis state, using multi-controlled Z
+    for both the oracle and the diffusion reflection. *)
+
+let mcz b n =
+  (* Z on qubit n-1 controlled on all the others. *)
+  Circuit.Builder.single b ~controls:(List.init (n - 1) Fun.id) "mcz" Gate.z (n - 1)
+
+let oracle b n marked =
+  (* Phase-flip |marked>: conjugate a multi-controlled Z with X on the
+     qubits where the marked element has a 0 bit. *)
+  for q = 0 to n - 1 do
+    if Bits.bit marked q = 0 then Circuit.Builder.x b q
+  done;
+  mcz b n;
+  for q = 0 to n - 1 do
+    if Bits.bit marked q = 0 then Circuit.Builder.x b q
+  done
+
+let diffusion b n =
+  for q = 0 to n - 1 do
+    Circuit.Builder.h b q
+  done;
+  for q = 0 to n - 1 do
+    Circuit.Builder.x b q
+  done;
+  mcz b n;
+  for q = 0 to n - 1 do
+    Circuit.Builder.x b q
+  done;
+  for q = 0 to n - 1 do
+    Circuit.Builder.h b q
+  done
+
+let optimal_iterations n =
+  int_of_float (Float.round (Float.pi /. 4.0 *. sqrt (float_of_int (1 lsl n))))
+
+let circuit ?(marked = 0) ?iterations n =
+  if marked < 0 || marked >= 1 lsl n then invalid_arg "Grover.circuit: bad marked state";
+  let iters = match iterations with Some i -> i | None -> optimal_iterations n in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "grover-%d" n) n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.h b q
+  done;
+  for _ = 1 to iters do
+    oracle b n marked;
+    diffusion b n
+  done;
+  Circuit.Builder.finish b

@@ -1,0 +1,12 @@
+(** Grover search for a single marked basis state.
+
+    Oracle and diffusion both use a multi-controlled Z — exercising the
+    IR's arbitrary control sets — so one iteration costs [O(n)] gates. *)
+
+val optimal_iterations : int -> int
+(** ⌊π/4·√2ⁿ⌉ — where the success probability peaks. *)
+
+val circuit : ?marked:int -> ?iterations:int -> int -> Circuit.t
+(** [circuit n] prepares the uniform superposition and runs
+    [iterations] (default: optimal) Grover iterations for [marked]
+    (default 0). @raise Invalid_argument if [marked] is out of range. *)

@@ -1,0 +1,60 @@
+type model = {
+  depolarizing : float;
+  dephasing : float;
+}
+
+let ideal = { depolarizing = 0.0; dephasing = 0.0 }
+
+let depolarizing p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Noise.depolarizing";
+  { ideal with depolarizing = p }
+
+let dephasing p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Noise.dephasing";
+  { ideal with dephasing = p }
+
+let error_ops rng model q =
+  let acc = ref [] in
+  if model.depolarizing > 0.0 && Rng.float rng 1.0 < model.depolarizing then begin
+    let name, matrix =
+      match Rng.int rng 3 with
+      | 0 -> ("nx", Gate.x)
+      | 1 -> ("ny", Gate.y)
+      | _ -> ("nz", Gate.z)
+    in
+    acc := Circuit.Single { name; matrix; target = q; controls = [] } :: !acc
+  end;
+  if model.dephasing > 0.0 && Rng.float rng 1.0 < model.dephasing then
+    acc := Circuit.Single { name = "nz"; matrix = Gate.z; target = q; controls = [] } :: !acc;
+  !acc
+
+let sample_trajectory ?rng model (c : Circuit.t) =
+  let rng = match rng with Some r -> r | None -> Rng.create 1 in
+  if model.depolarizing = 0.0 && model.dephasing = 0.0 then c
+  else begin
+    let ops = ref [] in
+    Array.iter
+      (fun op ->
+         ops := op :: !ops;
+         List.iter
+           (fun q -> List.iter (fun e -> ops := e :: !ops) (error_ops rng model q))
+           (Circuit.op_qubits op))
+      c.Circuit.ops;
+    { c with
+      Circuit.name = c.Circuit.name ^ "+noise";
+      ops = Array.of_list (List.rev !ops) }
+  end
+
+let trajectories ?(seed = 1) model c ~count =
+  let master = Rng.create seed in
+  List.init count (fun _ ->
+      let rng = Rng.split master in
+      sample_trajectory ~rng model c)
+
+let expected_insertions model (c : Circuit.t) =
+  Array.fold_left
+    (fun acc op ->
+       acc
+       +. (float_of_int (List.length (Circuit.op_qubits op))
+           *. (model.depolarizing +. model.dephasing)))
+    0.0 c.Circuit.ops

@@ -1,0 +1,31 @@
+(** Stochastic Pauli noise by quantum trajectories.
+
+    Noise-aware DD simulation (Grurl et al., TCAD'22) treats a noisy
+    circuit as an ensemble of pure-state runs: after each gate, each
+    touched qubit suffers X, Y or Z with probability [p/3] each
+    (depolarizing), or Z with probability [p] (dephasing). Sampling a
+    {e trajectory} yields an ordinary circuit any engine in this library
+    can run; averaging observables over trajectories estimates the noisy
+    expectation. This keeps the noise substrate engine-agnostic — FlatDD,
+    the DD baseline and the array engines all simulate trajectories
+    unchanged. *)
+
+type model = {
+  depolarizing : float;  (** per-qubit probability after each gate *)
+  dephasing : float;     (** additional Z-error probability *)
+}
+
+val ideal : model
+val depolarizing : float -> model
+val dephasing : float -> model
+
+val sample_trajectory : ?rng:Rng.t -> model -> Circuit.t -> Circuit.t
+(** One noisy instance: the input circuit with Pauli errors inserted
+    after gates according to the model. Deterministic in [rng]. *)
+
+val trajectories : ?seed:int -> model -> Circuit.t -> count:int -> Circuit.t list
+(** [count] independent trajectory circuits. *)
+
+val expected_insertions : model -> Circuit.t -> float
+(** Mean number of inserted error gates, for sanity checks:
+    Σ_gates Σ_touched-qubits (p_depol + p_deph). *)

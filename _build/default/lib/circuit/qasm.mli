@@ -1,0 +1,25 @@
+(** OpenQASM 2.0 front end.
+
+    Parses the subset of OpenQASM 2.0 that the standard benchmark suites
+    (QASMBench, MQT Bench) use: register declarations, the [qelib1]
+    standard gates, custom [gate] definitions (expanded as macros),
+    parameter expressions over [pi] with the usual arithmetic and
+    trigonometric functions, register broadcasting, [barrier] (ignored)
+    and [measure] (recorded, since this is a strong simulator).
+
+    Unsupported constructs ([reset], [if], [opaque] applications) raise
+    {!Parse_error} with a line number. *)
+
+type program = {
+  circuit : Circuit.t;
+  measurements : (int * int) list;  (** (qubit, classical bit) pairs, in order. *)
+  num_clbits : int;
+}
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : ?name:string -> string -> program
+val of_file : string -> program
+
+val pp_error : Format.formatter -> exn -> unit
+(** Pretty-prints a {!Parse_error}; re-raises anything else. *)

@@ -1,0 +1,114 @@
+exception Unsupported of string
+
+(* u3(θ,φ,λ) = [[cos(θ/2), -e^{iλ}sin(θ/2)], [e^{iφ}sin(θ/2), e^{i(φ+λ)}cos(θ/2)]].
+   A general U = e^{iα}·u3: recover θ from the moduli, the phases from the
+   arguments, and α as the phase that makes entry (0,0) real positive. *)
+let zyz (u : Gate.single) =
+  let m00 = u.(0).(0) and m01 = u.(0).(1) in
+  let m10 = u.(1).(0) and m11 = u.(1).(1) in
+  let c = Cnum.norm m00 and s = Cnum.norm m10 in
+  let theta = 2.0 *. atan2 s c in
+  if s < 1e-12 then begin
+    (* Diagonal: φ and λ are only constrained through their sum. *)
+    let alpha = Cnum.arg m00 in
+    let lambda = Cnum.arg m11 -. alpha in
+    (alpha, 0.0, 0.0, lambda)
+  end
+  else if c < 1e-12 then begin
+    (* Anti-diagonal: θ = π, φ - λ constrained. *)
+    let alpha = Cnum.arg m10 in
+    let lambda = Cnum.arg (Cnum.neg m01) -. alpha in
+    (alpha, Float.pi, 0.0, lambda)
+  end
+  else begin
+    let alpha = Cnum.arg m00 in
+    let phi = Cnum.arg m10 -. alpha in
+    let lambda = Cnum.arg (Cnum.neg m01) -. alpha in
+    (alpha, theta, phi, lambda)
+  end
+
+let near tol a b = Float.abs (a -. b) < tol
+
+(* Canonical angle in (-pi, pi]. *)
+let wrap a =
+  let two_pi = 2.0 *. Float.pi in
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi else if a <= -.Float.pi then a +. two_pi else a
+
+let f v = Printf.sprintf "%.17g" v
+
+let q i = Printf.sprintf "q[%d]" i
+
+let single_stmt name matrix target controls =
+  let alpha, theta, phi, lambda = zyz matrix in
+  let alpha = wrap alpha and theta = wrap theta and phi = wrap phi
+  and lambda = wrap lambda in
+  match controls with
+  | [] ->
+    (* Global phase unobservable. *)
+    Printf.sprintf "u3(%s,%s,%s) %s;" (f theta) (f phi) (f lambda) (q target)
+  | [ c ] ->
+    let base =
+      Printf.sprintf "cu3(%s,%s,%s) %s,%s;" (f theta) (f phi) (f lambda) (q c) (q target)
+    in
+    if near 1e-12 alpha 0.0 then base
+    else
+      (* Controlled-(e^{iα}U) = u1(α) on the control, then controlled-U. *)
+      Printf.sprintf "u1(%s) %s;\n%s" (f alpha) (q c) base
+  | [ c1; c2 ] ->
+    if Gate.equal matrix Gate.x then Printf.sprintf "ccx %s,%s,%s;" (q c1) (q c2) (q target)
+    else if Gate.equal matrix Gate.z then
+      (* ccz = h t; ccx; h t *)
+      Printf.sprintf "h %s;\nccx %s,%s,%s;\nh %s;" (q target) (q c1) (q c2) (q target)
+        (q target)
+    else
+      raise
+        (Unsupported
+           (Printf.sprintf "doubly-controlled %s has no qelib1 spelling" name))
+  | cs ->
+    if Gate.equal matrix Gate.z || Gate.equal matrix Gate.x then
+      raise
+        (Unsupported
+           (Printf.sprintf "%d-controlled %s requires ancilla decomposition"
+              (List.length cs) name))
+    else raise (Unsupported "multi-controlled general unitary")
+
+let op_to_qasm (op : Circuit.op) =
+  match op with
+  | Circuit.Single { name; matrix; target; controls } ->
+    single_stmt name matrix target controls
+  | Circuit.Two { name; matrix; q_hi; q_lo } ->
+    if Gate.is_unitary4 ~tol:1e-9 matrix && name = "iswap" then
+      Printf.sprintf "iswap_m %s,%s;" (q q_hi) (q q_lo)
+    else raise (Unsupported (Printf.sprintf "two-qubit gate %s" name))
+
+let needs_iswap c =
+  Array.exists
+    (function Circuit.Two { name = "iswap"; _ } -> true | _ -> false)
+    c.Circuit.ops
+
+let iswap_macro =
+  (* iswap = (S⊗S)·(H⊗I)·CX(hi,lo)·CX(lo,hi)·(I⊗H)  — standard identity,
+     spelled with qelib1 gates on (a = high bit of the pair, b = low). *)
+  "gate iswap_m a,b { s a; s b; h a; cx a,b; cx b,a; h b; }"
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "OPENQASM 2.0;\n";
+  Buffer.add_string buf "include \"qelib1.inc\";\n";
+  if needs_iswap c then begin
+    Buffer.add_string buf iswap_macro;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" c.Circuit.n);
+  Array.iter
+    (fun op ->
+       Buffer.add_string buf (op_to_qasm op);
+       Buffer.add_char buf '\n')
+    c.Circuit.ops;
+  Buffer.contents buf
+
+let to_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,28 @@
+(** Quantum Fourier transform: Hadamards, controlled phases, and the final
+    qubit-reversal swaps. Moderately regular — amplitudes all share one
+    magnitude, so the DD stays polynomial. *)
+
+let circuit ?(swaps = true) n =
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "qft-%d" n) n in
+  for q = n - 1 downto 0 do
+    Circuit.Builder.h b q;
+    for k = q - 1 downto 0 do
+      let angle = Float.pi /. float_of_int (1 lsl (q - k)) in
+      Circuit.Builder.cp b angle ~control:k ~target:q
+    done
+  done;
+  if swaps then
+    for q = 0 to (n / 2) - 1 do
+      Circuit.Builder.swap b q (n - 1 - q)
+    done;
+  Circuit.Builder.finish b
+
+(** QFT applied to a basis state [x], prefixed by the X gates preparing it;
+    the output amplitudes are exactly [e^{2πi·x·k/2^n}/√2^n]. *)
+let on_basis ?(x = 1) n =
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "qft-basis-%d" n) n in
+  for q = 0 to n - 1 do
+    if Bits.bit x q = 1 then Circuit.Builder.x b q
+  done;
+  let base = circuit n in
+  Circuit.append (Circuit.Builder.finish b) base

@@ -1,0 +1,11 @@
+(** Quantum Fourier transform. *)
+
+val circuit : ?swaps:bool -> int -> Circuit.t
+(** [circuit n] is the standard QFT: Hadamards and controlled phases,
+    with the closing qubit-reversal swaps unless [~swaps:false]. With
+    swaps, [QFT|y⟩ = Σₓ e^{2πi·x·y/2ⁿ}|x⟩/√2ⁿ] in this library's
+    bit-ordering convention. *)
+
+val on_basis : ?x:int -> int -> Circuit.t
+(** [on_basis ~x n] prefixes the X gates preparing |x⟩, so the output
+    amplitudes follow the closed form exactly — used by the tests. *)

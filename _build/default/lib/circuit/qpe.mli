@@ -1,0 +1,12 @@
+(** Quantum phase estimation of a [u1] phase gate.
+
+    [bits] counting qubits (qubit [k] weighs [2^k]) plus one eigenstate
+    qubit at index [bits]; the inverse QFT is built from the verified
+    {!Qft} generator via {!Circuit.adjoint} and {!Circuit.remap}. *)
+
+val circuit : ?name:string -> bits:int -> float -> Circuit.t
+(** [circuit ~bits phi] estimates φ of the eigenphase [e^{2πi·φ}].
+    Measuring the counting register peaks at {!expected_estimate}. *)
+
+val expected_estimate : bits:int -> float -> int
+(** [round(φ·2^bits) mod 2^bits]. *)

@@ -1,0 +1,86 @@
+(** Random-circuit-sampling benchmark in the style of Google's quantum
+    supremacy experiment (Arute et al., Nature 2019): qubits on a 2-D grid,
+    cycles of random single-qubit gates from {√X, √Y, √W} (never repeating
+    on the same qubit in consecutive cycles) interleaved with two-qubit
+    fSim interactions over four alternating link patterns, framed by
+    Hadamard layers. *)
+
+type grid = { rows : int; cols : int }
+
+(* Pick the most square grid for n qubits. *)
+let grid_of n =
+  let rec best r acc =
+    if r * r > n then acc
+    else if n mod r = 0 then best (r + 1) { rows = r; cols = n / r }
+    else best (r + 1) acc
+  in
+  best 1 { rows = 1; cols = n }
+
+let qubit g r c = (r * g.cols) + c
+
+(* The four supremacy link patterns: alternating vertical / horizontal
+   halves, so every link is hit once per four cycles. *)
+let links g pattern =
+  let acc = ref [] in
+  (match pattern with
+   | 0 | 1 ->
+     for r = 0 to g.rows - 2 do
+       for c = 0 to g.cols - 1 do
+         if (r + c) mod 2 = pattern then acc := (qubit g r c, qubit g (r + 1) c) :: !acc
+       done
+     done
+   | _ ->
+     for r = 0 to g.rows - 1 do
+       for c = 0 to g.cols - 2 do
+         if (r + c) mod 2 = pattern - 2 then acc := (qubit g r c, qubit g r (c + 1)) :: !acc
+       done
+     done);
+  List.rev !acc
+
+let single_gate b which q =
+  match which with
+  | 0 -> Circuit.Builder.sx b q
+  | 1 -> Circuit.Builder.sy b q
+  | _ -> Circuit.Builder.sw b q
+
+let circuit ?(seed = 23) ~cycles n =
+  let g = grid_of n in
+  let rng = Rng.create seed in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "supremacy-%d" n) n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.h b q
+  done;
+  let last = Array.make n (-1) in
+  for cycle = 0 to cycles - 1 do
+    for q = 0 to n - 1 do
+      (* Draw from the two gates that differ from last cycle's choice. *)
+      let which =
+        if last.(q) < 0 then Rng.int rng 3
+        else
+          let r = Rng.int rng 2 in
+          if r >= last.(q) then r + 1 else r
+      in
+      last.(q) <- which;
+      single_gate b which q
+    done;
+    let theta = Float.pi /. 2.0 and phi = Float.pi /. 6.0 in
+    List.iter
+      (fun (q1, q2) -> Circuit.Builder.fsim b ~theta ~phi q1 q2)
+      (links g (cycle mod 4))
+  done;
+  for q = 0 to n - 1 do
+    Circuit.Builder.h b q
+  done;
+  Circuit.Builder.finish b
+
+(** Cycle count that yields roughly [gates] operations. *)
+let circuit_with_gates ?(seed = 23) ~gates n =
+  let g = grid_of n in
+  let links_per_cycle =
+    let total = List.length (links g 0) + List.length (links g 1)
+                + List.length (links g 2) + List.length (links g 3) in
+    Float.max 1.0 (float_of_int total /. 4.0)
+  in
+  let per_cycle = float_of_int n +. links_per_cycle in
+  let cycles = Int.max 1 (int_of_float (Float.round (float_of_int (gates - (2 * n)) /. per_cycle))) in
+  circuit ~seed ~cycles n

@@ -1,0 +1,49 @@
+(** Swap-test and quantum-KNN circuits.
+
+    Both share one skeleton on [n = 2m + 1] qubits: an ancilla Hadamard, a
+    controlled-SWAP cascade comparing two [m]-qubit registers, and a
+    closing ancilla Hadamard; P(ancilla = 0) encodes the states' overlap.
+    They differ only in how the two registers are prepared — the KNN
+    variant loads random feature vectors through RY rotations on both
+    registers, while the plain swap test loads one register with a uniform
+    superposition. This mirrors the QASMBench pair, which at equal width
+    have nearly identical gate counts. *)
+
+let registers n =
+  if n < 3 || n mod 2 = 0 then
+    invalid_arg "Swaptest: qubit count must be odd and >= 3";
+  let m = (n - 1) / 2 in
+  let ancilla = n - 1 in
+  let reg_a = List.init m Fun.id in
+  let reg_b = List.init m (fun i -> m + i) in
+  (m, ancilla, reg_a, reg_b)
+
+let core b ancilla reg_a reg_b =
+  Circuit.Builder.h b ancilla;
+  List.iter2
+    (fun qa qb -> Circuit.Builder.cswap b ~control:ancilla qa qb)
+    reg_a reg_b;
+  Circuit.Builder.h b ancilla
+
+let swap_test ?(seed = 13) n =
+  let _, ancilla, reg_a, reg_b = registers n in
+  let rng = Rng.create seed in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "swaptest-%d" n) n in
+  List.iter (fun q -> Circuit.Builder.h b q) reg_a;
+  List.iter (fun q -> Circuit.Builder.ry b (Rng.angle rng) q) reg_b;
+  core b ancilla reg_a reg_b;
+  Circuit.Builder.finish b
+
+let knn ?(seed = 17) n =
+  let _, ancilla, reg_a, reg_b = registers n in
+  let rng = Rng.create seed in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "knn-%d" n) n in
+  (* Load the query point and the stored neighbor as product states with
+     random feature angles. *)
+  List.iter
+    (fun q ->
+       Circuit.Builder.ry b (Rng.angle rng) q;
+       Circuit.Builder.rz b (Rng.angle rng) q)
+    (reg_a @ reg_b);
+  core b ancilla reg_a reg_b;
+  Circuit.Builder.finish b

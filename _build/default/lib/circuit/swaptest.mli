@@ -1,0 +1,15 @@
+(** Swap-test and quantum-KNN circuits on [n = 2m + 1] qubits: two
+    [m]-qubit registers compared through a controlled-SWAP cascade between
+    ancilla Hadamards. P(ancilla = 0) = (1 + |⟨a|b⟩|²)/2. *)
+
+val registers : int -> int * int * int list * int list
+(** [(m, ancilla, register_a, register_b)] for a given qubit count.
+    @raise Invalid_argument unless [n] is odd and ≥ 3. *)
+
+val swap_test : ?seed:int -> int -> Circuit.t
+(** Register A in uniform superposition, register B loaded with random RY
+    rotations. *)
+
+val knn : ?seed:int -> int -> Circuit.t
+(** Both registers loaded with random RY/RZ feature rotations — the
+    quantum-KNN distance estimation kernel. *)

@@ -1,0 +1,52 @@
+(** Hardware-efficient VQE ansatz: RY–RZ rotation layers with a CZ ring,
+    as used for molecular ground-state searches. Random parameters make the
+    state amplitudes irregular after very few layers. *)
+
+(** Number of rotation parameters of {!ansatz} at a given width/depth. *)
+let num_params ~layers n = n + (layers * 2 * n)
+
+(** The same ansatz with explicit rotation angles, for variational
+    optimization loops (see examples/vqe_energy.ml). [angles] must have
+    [num_params ~layers n] entries. *)
+let ansatz ?(name = "vqe-ansatz") ~layers n angles =
+  if Array.length angles <> num_params ~layers n then
+    invalid_arg "Vqe.ansatz: wrong number of angles";
+  let b = Circuit.Builder.create ~name n in
+  let k = ref 0 in
+  let next () =
+    let a = angles.(!k) in
+    incr k;
+    a
+  in
+  for q = 0 to n - 1 do
+    Circuit.Builder.ry b (next ()) q
+  done;
+  for _layer = 1 to layers do
+    for q = 0 to n - 2 do
+      Circuit.Builder.cz b ~control:q ~target:(q + 1)
+    done;
+    if n > 2 then Circuit.Builder.cz b ~control:(n - 1) ~target:0;
+    for q = 0 to n - 1 do
+      Circuit.Builder.ry b (next ()) q;
+      Circuit.Builder.rz b (next ()) q
+    done
+  done;
+  Circuit.Builder.finish b
+
+let circuit ?(seed = 11) ?(layers = 3) n =
+  let rng = Rng.create seed in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "vqe-%d" n) n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.ry b (Rng.angle rng) q
+  done;
+  for _layer = 1 to layers do
+    for q = 0 to n - 2 do
+      Circuit.Builder.cz b ~control:q ~target:(q + 1)
+    done;
+    if n > 2 then Circuit.Builder.cz b ~control:(n - 1) ~target:0;
+    for q = 0 to n - 1 do
+      Circuit.Builder.ry b (Rng.angle rng) q;
+      Circuit.Builder.rz b (Rng.angle rng) q
+    done
+  done;
+  Circuit.Builder.finish b

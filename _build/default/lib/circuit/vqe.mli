@@ -1,0 +1,13 @@
+(** Hardware-efficient VQE ansatz: RY/RZ rotation layers with a CZ ring. *)
+
+val num_params : layers:int -> int -> int
+(** Rotation-angle count of {!ansatz}. *)
+
+val ansatz : ?name:string -> layers:int -> int -> float array -> Circuit.t
+(** The ansatz with explicit rotation angles, for variational optimization
+    loops (see examples/vqe_energy.ml).
+    @raise Invalid_argument unless exactly {!num_params} angles given. *)
+
+val circuit : ?seed:int -> ?layers:int -> int -> Circuit.t
+(** The ansatz with random angles drawn from [seed] — the irregular VQE
+    workload of the benchmark suite. *)

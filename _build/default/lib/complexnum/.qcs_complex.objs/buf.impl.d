@@ -1,0 +1,1 @@
+lib/complexnum/buf.ml: Array Cnum Format Int

@@ -1,0 +1,1 @@
+lib/complexnum/buf.mli: Cnum Format

@@ -1,0 +1,1 @@
+lib/complexnum/cnum.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/complexnum/cnum.mli: Format

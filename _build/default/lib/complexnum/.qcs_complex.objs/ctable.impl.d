@@ -1,0 +1,1 @@
+lib/complexnum/ctable.ml: Cnum Float Hashtbl

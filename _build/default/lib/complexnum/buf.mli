@@ -1,0 +1,72 @@
+(** Flat complex vectors ("the array" in FlatDD).
+
+    Amplitudes are stored interleaved — [a.(2i)] is the real part and
+    [a.(2i+1)] the imaginary part of amplitude [i] — in one unboxed float
+    array, which is the closest OCaml equivalent of the paper's aligned
+    [double2] arrays. The block kernels ([scale_into], [add_into], …) play
+    the role of the paper's AVX2 SIMD loops: they are branch-free, stride-1
+    passes that the backend compiles to tight float code, and they are the
+    unit the DMAV cost model charges at SIMD width [d].
+
+    All indices and lengths below are in {e amplitudes}, not floats. *)
+
+type t = private { data : float array; len : int }
+(** [len] is the number of complex amplitudes; [data] has [2 * len] floats. *)
+
+val create : int -> t
+(** [create len] is a zero vector of [len] amplitudes. *)
+
+val init : int -> (int -> Cnum.t) -> t
+val length : t -> int
+
+val get : t -> int -> Cnum.t
+val set : t -> int -> Cnum.t -> unit
+
+val get_re : t -> int -> float
+val get_im : t -> int -> float
+
+val madd : t -> int -> Cnum.t -> Cnum.t -> unit
+(** [madd v i w x] performs the multiply-accumulate [v.(i) <- v.(i) + w·x]
+    without allocating. This is the MAC the cost model counts. *)
+
+val fill_zero : t -> unit
+val fill_zero_range : t -> pos:int -> len:int -> unit
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+val scale_into : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> Cnum.t -> unit
+(** [dst.(dst_pos+k) <- s · src.(src_pos+k)] for [k < len] — the scalar
+    multiplication used by cache hits and by the parallel conversion's
+    scalar-multiplication optimization. [src] and [dst] may be the same
+    vector only if the ranges do not overlap. *)
+
+val add_into : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** [dst.(dst_pos+k) <- dst.(dst_pos+k) + src.(src_pos+k)] — the buffer
+    summation kernel. *)
+
+val scale_add_into :
+  src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> Cnum.t -> unit
+(** Fused [dst += s · src] over a block. *)
+
+val copy : t -> t
+val sub_vector : t -> pos:int -> len:int -> t
+
+val norm2 : t -> float
+(** Σ|aᵢ|² — should be 1 for a valid quantum state. *)
+
+val fidelity : t -> t -> float
+(** |⟨a|b⟩|² between two unit vectors of equal length. *)
+
+val max_abs_diff : t -> t -> float
+(** L∞ distance between amplitude vectors, the metric differential tests
+    compare engines with. *)
+
+val to_array : t -> Cnum.t array
+val of_array : Cnum.t array -> t
+
+val memory_bytes : t -> int
+(** 16 bytes per amplitude plus header, matching the paper's accounting of
+    flat state vectors. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints up to 16 amplitudes, for debugging. *)

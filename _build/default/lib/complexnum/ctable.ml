@@ -1,0 +1,108 @@
+type entry = { value : Cnum.t; id : int }
+
+(* Buckets are keyed by an integer mixing the two grid-cell coordinates
+   (cell = floor(coord / tolerance)). Values within tolerance land in the
+   same or an adjacent cell, so a full search probes the 3×3 neighborhood;
+   the common case — the value was interned before at (almost) exactly the
+   same spot — is served by probing the value's own cell first. *)
+
+module Itbl = Hashtbl.Make (struct
+    type t = int
+
+    let equal (a : int) b = a = b
+    let hash x = (x * 0x9E3779B1) land max_int
+  end)
+
+type t = {
+  tolerance : float;
+  inv_tolerance : float;
+  buckets : entry list ref Itbl.t;
+  mutable next_id : int;
+  mutable count : int;
+}
+
+let zero_id = 0
+let one_id = 1
+
+let cell t v = int_of_float (Float.floor (v *. t.inv_tolerance))
+
+(* 2-D cell -> bucket key. Collisions between distant cells are harmless:
+   entries are verified with a tolerance comparison. *)
+let key cr ci = (cr * 0x1fffffefd) lxor ci
+
+let add_entry t (value : Cnum.t) =
+  let e = { value; id = t.next_id } in
+  t.next_id <- t.next_id + 1;
+  t.count <- t.count + 1;
+  let k = key (cell t value.Cnum.re) (cell t value.Cnum.im) in
+  (match Itbl.find_opt t.buckets k with
+   | Some l -> l := e :: !l
+   | None -> Itbl.add t.buckets k (ref [ e ]));
+  e
+
+let seed t =
+  let z = add_entry t Cnum.zero in
+  let o = add_entry t Cnum.one in
+  assert (z.id = zero_id && o.id = one_id)
+
+let create ?(tolerance = Cnum.tolerance) () =
+  let t =
+    { tolerance;
+      inv_tolerance = 1.0 /. tolerance;
+      buckets = Itbl.create (1 lsl 16);
+      next_id = 0;
+      count = 0 }
+  in
+  seed t;
+  t
+
+let rec scan tol (c : Cnum.t) = function
+  | [] -> None
+  | (e : entry) :: rest ->
+    if
+      Float.abs (e.value.Cnum.re -. c.Cnum.re) <= tol
+      && Float.abs (e.value.Cnum.im -. c.Cnum.im) <= tol
+    then Some e
+    else scan tol c rest
+
+let probe t cr ci (c : Cnum.t) =
+  match Itbl.find_opt t.buckets (key cr ci) with
+  | None -> None
+  | Some l -> scan t.tolerance c !l
+
+let find_near t (c : Cnum.t) =
+  let cr = cell t c.Cnum.re and ci = cell t c.Cnum.im in
+  (* Own cell first — the overwhelmingly common hit path. *)
+  match probe t cr ci c with
+  | Some _ as r -> r
+  | None ->
+    let found = ref None in
+    let dr = ref (-1) in
+    while !found = None && !dr <= 1 do
+      let di = ref (-1) in
+      while !found = None && !di <= 1 do
+        if not (!dr = 0 && !di = 0) then
+          found := probe t (cr + !dr) (ci + !di) c;
+        incr di
+      done;
+      incr dr
+    done;
+    !found
+
+let lookup t c =
+  match find_near t c with
+  | Some e -> e
+  | None -> add_entry t c
+
+let canon t c = (lookup t c).value
+let id t c = (lookup t c).id
+let count t = t.count
+
+let clear t =
+  Itbl.reset t.buckets;
+  t.next_id <- 0;
+  t.count <- 0;
+  seed t
+
+(* Entry record (~5 words) + list cons (~3 words) + bucket slot amortized. *)
+let memory_bytes t = t.count * (8 * 10)

@@ -1,0 +1,40 @@
+(** Tolerance-bucketed interning of complex values.
+
+    Decision diagrams are only canonical if edge weights that are "equal up
+    to numerical noise" are represented by one value. Following DDSIM's
+    complex-number table, this module interns values on a grid of width
+    {!Cnum.tolerance}: a lookup snaps the value to a previously stored
+    representative when one lies within tolerance (checking the neighboring
+    grid buckets to avoid boundary misses) and assigns each representative
+    a small integer id that unique tables and compute caches hash on. *)
+
+type t
+
+type entry = private { value : Cnum.t; id : int }
+
+val create : ?tolerance:float -> unit -> t
+
+val lookup : t -> Cnum.t -> entry
+(** [lookup t c] returns the canonical entry for [c], inserting a new
+    representative if no stored value is within tolerance. Exact zero and
+    one are pre-seeded with ids 0 and 1, so [("id" = 0)] reliably means
+    the zero weight. *)
+
+val canon : t -> Cnum.t -> Cnum.t
+(** [canon t c] is [(lookup t c).value]. *)
+
+val id : t -> Cnum.t -> int
+(** [id t c] is [(lookup t c).id]. *)
+
+val zero_id : int
+val one_id : int
+
+val count : t -> int
+(** Number of distinct representatives stored. *)
+
+val clear : t -> unit
+(** Drops every representative except the pre-seeded constants. Any ids
+    handed out before [clear] are invalidated. *)
+
+val memory_bytes : t -> int
+(** Rough live size, for the memory-accounting experiments. *)

@@ -1,0 +1,121 @@
+type stats = {
+  tasks : int;
+  fills : int;
+  filled_amplitudes : int;
+}
+
+let sequential ~n e =
+  let buf = Buf.create (1 lsl n) in
+  let rec walk (e : Dd.vedge) offset w =
+    if not (Dd.vedge_is_zero e) then begin
+      let w = Cnum.mul w e.Dd.vw in
+      let node = e.Dd.vtgt in
+      if node == Dd.vterminal then Buf.set buf offset w
+      else begin
+        walk node.Dd.v0 offset w;
+        walk node.Dd.v1 (offset + (1 lsl node.Dd.vlevel)) w
+      end
+    end
+  in
+  walk e 0 Cnum.one;
+  buf
+
+(* A DFS task converts the sub-tree under [node] (incoming weight already
+   folded into [weight]) into [buf] starting at [offset]. A fill derives
+   [len] amplitudes at [dst] by scaling the block at [src]. *)
+type task = { t_node : Dd.vnode; t_offset : int; t_weight : Cnum.t }
+type fill = { f_src : int; f_dst : int; f_len : int; f_factor : Cnum.t; f_level : int }
+
+let parallel ~pool ~n e =
+  let buf = Buf.create (1 lsl n) in
+  let threads = Pool.size pool in
+  let tasks : task list ref = ref [] in
+  let fills : fill list ref = ref [] in
+  let n_tasks = ref 0 in
+  let target_tasks = Int.max 1 (4 * threads) in
+  (* Phase 1 — split the DD into sub-tree tasks. Zero edges are never
+     descended into (load balancing) and identical children become fills
+     (scalar multiplication), exactly the two cases of Figure 4. *)
+  let rec split (node : Dd.vnode) offset weight budget =
+    if node == Dd.vterminal then begin
+      tasks := { t_node = node; t_offset = offset; t_weight = weight } :: !tasks;
+      incr n_tasks
+    end
+    else if budget <= 1 then begin
+      tasks := { t_node = node; t_offset = offset; t_weight = weight } :: !tasks;
+      incr n_tasks
+    end
+    else begin
+      let half = 1 lsl node.Dd.vlevel in
+      let e0 = node.Dd.v0 and e1 = node.Dd.v1 in
+      match Dd.vedge_is_zero e0, Dd.vedge_is_zero e1 with
+      | true, true -> ()
+      | false, true -> split e0.Dd.vtgt offset (Cnum.mul weight e0.Dd.vw) budget
+      | true, false ->
+        split e1.Dd.vtgt (offset + half) (Cnum.mul weight e1.Dd.vw) budget
+      | false, false ->
+        if e0.Dd.vtgt == e1.Dd.vtgt then begin
+          (* High half = (w1/w0) × low half: convert only the low half and
+             record a fill at this node's level. *)
+          fills :=
+            { f_src = offset;
+              f_dst = offset + half;
+              f_len = half;
+              f_factor = Cnum.div e1.Dd.vw e0.Dd.vw;
+              f_level = node.Dd.vlevel }
+            :: !fills;
+          split e0.Dd.vtgt offset (Cnum.mul weight e0.Dd.vw) budget
+        end
+        else begin
+          let b0 = budget / 2 in
+          split e0.Dd.vtgt offset (Cnum.mul weight e0.Dd.vw) b0;
+          split e1.Dd.vtgt (offset + half) (Cnum.mul weight e1.Dd.vw) (budget - b0)
+        end
+    end
+  in
+  if not (Dd.vedge_is_zero e) then
+    split e.Dd.vtgt 0 e.Dd.vw target_tasks;
+  (* Phase 2 — DFS conversion of the tasks, drained over the pool. Within
+     a task the identical-children case is still exploited sequentially
+     (convert low half, block-scale the high half). *)
+  let task_array = Array.of_list !tasks in
+  let rec convert (node : Dd.vnode) offset w =
+    if node == Dd.vterminal then Buf.set buf offset w
+    else begin
+      let half = 1 lsl node.Dd.vlevel in
+      let e0 = node.Dd.v0 and e1 = node.Dd.v1 in
+      let zero0 = Dd.vedge_is_zero e0 and zero1 = Dd.vedge_is_zero e1 in
+      if (not zero0) && (not zero1) && e0.Dd.vtgt == e1.Dd.vtgt then begin
+        convert e0.Dd.vtgt offset (Cnum.mul w e0.Dd.vw);
+        Buf.scale_into ~src:buf ~src_pos:offset ~dst:buf ~dst_pos:(offset + half)
+          ~len:half (Cnum.div e1.Dd.vw e0.Dd.vw)
+      end
+      else begin
+        if not zero0 then convert e0.Dd.vtgt offset (Cnum.mul w e0.Dd.vw);
+        if not zero1 then
+          convert e1.Dd.vtgt (offset + half) (Cnum.mul w e1.Dd.vw)
+      end
+    end
+  in
+  Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:(Array.length task_array) (fun i ->
+      let t = task_array.(i) in
+      convert t.t_node t.t_offset t.t_weight);
+  (* Phase 3 — execute the recorded fills, lowest level first (a fill at
+     level l reads only amplitudes produced below level l). Each fill is
+     chunked so one huge top-level fill still uses every worker. *)
+  let fill_list = List.sort (fun a b -> compare a.f_level b.f_level) !fills in
+  let filled = ref 0 in
+  List.iter
+    (fun f ->
+       filled := !filled + f.f_len;
+       let chunk = Int.max 4096 (f.f_len / (4 * threads)) in
+       Pool.parallel_for_ranges ~chunk pool ~lo:0 ~hi:f.f_len (fun a b ->
+           Buf.scale_into ~src:buf ~src_pos:(f.f_src + a) ~dst:buf
+             ~dst_pos:(f.f_dst + a) ~len:(b - a) f.f_factor))
+    fill_list;
+  ( buf,
+    { tasks = Array.length task_array;
+      fills = List.length fill_list;
+      filled_amplitudes = !filled } )
+
+let parallel_ ~pool ~n e = fst (parallel ~pool ~n e)

@@ -1,0 +1,32 @@
+(** DD-to-array state-vector conversion (paper §3.1.2).
+
+    {!sequential} is the DDSIM-style baseline: a single depth-first walk
+    multiplying edge weights into a flat buffer.
+
+    {!parallel} implements FlatDD's converter with its two optimizations:
+
+    - {b load balancing}: worker splitting never descends into zero edges,
+      so no thread is parked on an empty sub-tree. We split the DD into at
+      least [4 × threads] sub-tree tasks drained through an atomic cursor,
+      which subsumes the paper's even per-node splitting and also balances
+      DDs whose non-zero mass is lopsided;
+    - {b scalar multiplication}: when a node's two outgoing edges point to
+      the same child, only the low half is converted by DFS; the high half
+      is filled afterwards with one SIMD-style block scale by the weight
+      ratio. Fills discovered at level [l] depend only on data below
+      level [l], so fills are executed level by level, in parallel, after
+      the DFS tasks complete. *)
+
+type stats = {
+  tasks : int;            (** DFS sub-tree tasks created *)
+  fills : int;            (** scalar-multiplication block fills *)
+  filled_amplitudes : int;(** amplitudes produced by scaling, not DFS *)
+}
+
+val sequential : n:int -> Dd.vedge -> Buf.t
+
+val parallel : pool:Pool.t -> n:int -> Dd.vedge -> Buf.t * stats
+(** [parallel ~pool ~n e] converts an [n]-qubit state DD rooted at [e]. *)
+
+val parallel_ : pool:Pool.t -> n:int -> Dd.vedge -> Buf.t
+(** {!parallel} without the stats. *)

@@ -1,0 +1,1 @@
+lib/dd/dd.ml: Bits Cnum Ctable Dd_cache Hashtbl List Printf

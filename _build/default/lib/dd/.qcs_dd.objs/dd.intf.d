@@ -1,0 +1,1 @@
+lib/dd/dd.mli: Cnum Ctable

@@ -1,0 +1,1 @@
+lib/dd/dd_cache.ml: Array

@@ -1,0 +1,1 @@
+lib/dd/ddsim.ml: Array Circuit Dd Int64 List Mat_dd Timer Vec_dd

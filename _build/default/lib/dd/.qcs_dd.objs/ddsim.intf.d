@@ -1,0 +1,1 @@
+lib/dd/ddsim.mli: Buf Circuit Dd

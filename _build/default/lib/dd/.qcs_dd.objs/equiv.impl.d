@@ -1,0 +1,1 @@
+lib/dd/equiv.ml: Array Circuit Cnum Dd Float Mat_dd

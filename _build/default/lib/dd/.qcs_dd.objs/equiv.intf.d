@@ -1,0 +1,1 @@
+lib/dd/equiv.mli: Circuit Cnum Dd

@@ -1,0 +1,1 @@
+lib/dd/mat_dd.ml: Array Circuit Cnum Dd Gate Int List

@@ -1,0 +1,1 @@
+lib/dd/mat_dd.mli: Circuit Cnum Dd Gate

@@ -1,0 +1,1 @@
+lib/dd/vec_dd.ml: Bits Buf Cnum Dd Hashtbl

@@ -1,0 +1,1 @@
+lib/dd/vec_dd.mli: Buf Dd

@@ -1,0 +1,1 @@
+lib/dd/vec_sample.ml: Bits Cnum Dd Hashtbl List Option Rng Vec_dd

@@ -1,0 +1,1 @@
+lib/dd/vec_sample.mli: Cnum Dd Rng

@@ -1,0 +1,444 @@
+type vnode = {
+  vid : int;
+  vlevel : int;
+  mutable vmark : bool;
+  v0 : vedge;
+  v1 : vedge;
+}
+
+and vedge = { vtgt : vnode; vw : Cnum.t }
+
+type mnode = {
+  mid : int;
+  mlevel : int;
+  mutable mmark : bool;
+  e00 : medge;
+  e01 : medge;
+  e10 : medge;
+  e11 : medge;
+}
+
+and medge = { mtgt : mnode; mw : Cnum.t }
+
+(* The single shared terminal of each kind, with self-referential zero
+   children that are never followed (vlevel = -1 stops every traversal). *)
+let rec vterminal =
+  { vid = 0; vlevel = -1; vmark = false;
+    v0 = { vtgt = vterminal; vw = Cnum.zero };
+    v1 = { vtgt = vterminal; vw = Cnum.zero } }
+
+let rec mterminal =
+  { mid = 0; mlevel = -1; mmark = false;
+    e00 = { mtgt = mterminal; mw = Cnum.zero };
+    e01 = { mtgt = mterminal; mw = Cnum.zero };
+    e10 = { mtgt = mterminal; mw = Cnum.zero };
+    e11 = { mtgt = mterminal; mw = Cnum.zero } }
+
+let vzero = { vtgt = vterminal; vw = Cnum.zero }
+let mzero = { mtgt = mterminal; mw = Cnum.zero }
+let vone = { vtgt = vterminal; vw = Cnum.one }
+let mone = { mtgt = mterminal; mw = Cnum.one }
+
+let vedge_is_zero e = e.vw.Cnum.re = 0.0 && e.vw.Cnum.im = 0.0
+let medge_is_zero e = e.mw.Cnum.re = 0.0 && e.mw.Cnum.im = 0.0
+
+type vkey = (* key fields are compared structurally by Hashtbl *) { vk_level : int; vk_t0 : int; vk_w0 : int; vk_t1 : int; vk_w1 : int }
+
+type mkey = {
+  mk_level : int;
+  mk_t00 : int; mk_w00 : int;
+  mk_t01 : int; mk_w01 : int;
+  mk_t10 : int; mk_w10 : int;
+  mk_t11 : int; mk_w11 : int;
+}
+
+type package = {
+  ct : Ctable.t;
+  vunique : (vkey, vnode) Hashtbl.t;
+  munique : (mkey, mnode) Hashtbl.t;
+  mutable next_id : int;
+  (* Compute caches keyed on node ids (operands' weights are factored out
+     before lookup, see the ops below). *)
+  mv_cache : vedge Dd_cache.Two.t;
+  mm_cache : medge Dd_cache.Two.t;
+  vadd_cache : vedge Dd_cache.Three.t;
+  madd_cache : medge Dd_cache.Three.t;
+}
+
+let create ?tolerance () =
+  { ct = Ctable.create ?tolerance ();
+    vunique = Hashtbl.create (1 lsl 14);
+    munique = Hashtbl.create (1 lsl 12);
+    next_id = 1;
+    mv_cache = Dd_cache.Two.create ~bits:16 vzero;
+    mm_cache = Dd_cache.Two.create ~bits:16 mzero;
+    vadd_cache = Dd_cache.Three.create ~bits:16 vzero;
+    madd_cache = Dd_cache.Three.create ~bits:16 mzero }
+
+let ctable p = p.ct
+let vweight p w = Ctable.canon p.ct w
+
+(* ------------------------------------------------------------------ *)
+(* Normalized node construction                                        *)
+(* ------------------------------------------------------------------ *)
+
+let canon_vedge p e =
+  let w = Ctable.canon p.ct e.vw in
+  if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then vzero else { e with vw = w }
+
+let canon_medge p e =
+  let w = Ctable.canon p.ct e.mw in
+  if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then mzero else { e with mw = w }
+
+let make_vnode p level e0 e1 =
+  assert (level >= 0);
+  let e0 = canon_vedge p e0 and e1 = canon_vedge p e1 in
+  if vedge_is_zero e0 && vedge_is_zero e1 then vzero
+  else begin
+    assert (vedge_is_zero e0 || e0.vtgt.vlevel = level - 1);
+    assert (vedge_is_zero e1 || e1.vtgt.vlevel = level - 1);
+    (* Normalize by the larger-magnitude weight (ties favor the low edge),
+       so equal sub-vectors always produce the identical node. *)
+    let n0 = Cnum.norm2 e0.vw and n1 = Cnum.norm2 e1.vw in
+    let norm = if n1 > n0 then e1.vw else e0.vw in
+    let divn (w : Cnum.t) =
+      if w == norm then Cnum.one
+      else if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then Cnum.zero
+      else Ctable.canon p.ct (Cnum.div w norm)
+    in
+    let w0 = divn e0.vw and w1 = divn e1.vw in
+    let key =
+      { vk_level = level;
+        vk_t0 = e0.vtgt.vid; vk_w0 = Ctable.id p.ct w0;
+        vk_t1 = e1.vtgt.vid; vk_w1 = Ctable.id p.ct w1 }
+    in
+    let node =
+      match Hashtbl.find_opt p.vunique key with
+      | Some n -> n
+      | None ->
+        let n =
+          { vid = p.next_id; vlevel = level; vmark = false;
+            v0 = (if Cnum.is_zero ~tol:0.0 w0 then vzero else { vtgt = e0.vtgt; vw = w0 });
+            v1 = (if Cnum.is_zero ~tol:0.0 w1 then vzero else { vtgt = e1.vtgt; vw = w1 }) }
+        in
+        p.next_id <- p.next_id + 1;
+        Hashtbl.add p.vunique key n;
+        n
+    in
+    { vtgt = node; vw = norm }
+  end
+
+let make_mnode p level e00 e01 e10 e11 =
+  assert (level >= 0);
+  let e00 = canon_medge p e00 and e01 = canon_medge p e01 in
+  let e10 = canon_medge p e10 and e11 = canon_medge p e11 in
+  if medge_is_zero e00 && medge_is_zero e01 && medge_is_zero e10 && medge_is_zero e11
+  then mzero
+  else begin
+    let pick best e = if Cnum.norm2 e.mw > Cnum.norm2 best then e.mw else best in
+    let norm = pick (pick (pick (pick Cnum.zero e00) e01) e10) e11 in
+    let div e =
+      if medge_is_zero e then mzero
+      else
+        let w = Ctable.canon p.ct (Cnum.div e.mw norm) in
+        if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then mzero else { e with mw = w }
+    in
+    let d00 = div e00 and d01 = div e01 and d10 = div e10 and d11 = div e11 in
+    let key =
+      { mk_level = level;
+        mk_t00 = d00.mtgt.mid; mk_w00 = Ctable.id p.ct d00.mw;
+        mk_t01 = d01.mtgt.mid; mk_w01 = Ctable.id p.ct d01.mw;
+        mk_t10 = d10.mtgt.mid; mk_w10 = Ctable.id p.ct d10.mw;
+        mk_t11 = d11.mtgt.mid; mk_w11 = Ctable.id p.ct d11.mw }
+    in
+    let node =
+      match Hashtbl.find_opt p.munique key with
+      | Some n -> n
+      | None ->
+        let n =
+          { mid = p.next_id; mlevel = level; mmark = false;
+            e00 = d00; e01 = d01; e10 = d10; e11 = d11 }
+        in
+        p.next_id <- p.next_id + 1;
+        Hashtbl.add p.munique key n;
+        n
+    in
+    { mtgt = node; mw = Ctable.canon p.ct norm }
+  end
+
+(* The normalization invariant: in [make_mnode] the pick starts from zero
+   weight; at least one edge is non-zero so [norm] is non-zero. *)
+
+let vscale p e w =
+  if vedge_is_zero e then vzero
+  else
+    let w' = Ctable.canon p.ct (Cnum.mul e.vw w) in
+    if w'.Cnum.re = 0.0 && w'.Cnum.im = 0.0 then vzero else { e with vw = w' }
+
+let mscale p e w =
+  if medge_is_zero e then mzero
+  else
+    let w' = Ctable.canon p.ct (Cnum.mul e.mw w) in
+    if w'.Cnum.re = 0.0 && w'.Cnum.im = 0.0 then mzero else { e with mw = w' }
+
+let medge_child e i j =
+  match i, j with
+  | 0, 0 -> e.mtgt.e00
+  | 0, 1 -> e.mtgt.e01
+  | 1, 0 -> e.mtgt.e10
+  | 1, 1 -> e.mtgt.e11
+  | _ -> invalid_arg "Dd.medge_child"
+
+(* ------------------------------------------------------------------ *)
+(* Addition                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* a + b with a = wa·A, b = wb·B  =  wa · (A + (wb/wa)·B); the cache is
+   keyed on (A, B, wb/wa), making hits independent of common factors. *)
+let rec vadd p a b =
+  if vedge_is_zero a then b
+  else if vedge_is_zero b then a
+  else if a.vtgt == vterminal then
+    { vtgt = vterminal; vw = Ctable.canon p.ct (Cnum.add a.vw b.vw) }
+  else begin
+    assert (a.vtgt.vlevel = b.vtgt.vlevel);
+    let ratio = Ctable.canon p.ct (Cnum.div b.vw a.vw) in
+    let rid = Ctable.id p.ct ratio in
+    let cached =
+      match Dd_cache.Three.find p.vadd_cache a.vtgt.vid b.vtgt.vid rid with
+      | Some r -> Some r
+      | None -> None
+    in
+    let unit_sum =
+      match cached with
+      | Some r -> r
+      | None ->
+        let av = a.vtgt and bv = b.vtgt in
+        let r0 = vadd p av.v0 (vscale p bv.v0 ratio) in
+        let r1 = vadd p av.v1 (vscale p bv.v1 ratio) in
+        let r = make_vnode p av.vlevel r0 r1 in
+        Dd_cache.Three.store p.vadd_cache av.vid bv.vid rid r;
+        r
+    in
+    vscale p unit_sum a.vw
+  end
+
+let rec madd p a b =
+  if medge_is_zero a then b
+  else if medge_is_zero b then a
+  else if a.mtgt == mterminal then
+    { mtgt = mterminal; mw = Ctable.canon p.ct (Cnum.add a.mw b.mw) }
+  else begin
+    assert (a.mtgt.mlevel = b.mtgt.mlevel);
+    let ratio = Ctable.canon p.ct (Cnum.div b.mw a.mw) in
+    let rid = Ctable.id p.ct ratio in
+    let unit_sum =
+      match Dd_cache.Three.find p.madd_cache a.mtgt.mid b.mtgt.mid rid with
+      | Some r -> r
+      | None ->
+        let am = a.mtgt and bm = b.mtgt in
+        let r00 = madd p am.e00 (mscale p bm.e00 ratio) in
+        let r01 = madd p am.e01 (mscale p bm.e01 ratio) in
+        let r10 = madd p am.e10 (mscale p bm.e10 ratio) in
+        let r11 = madd p am.e11 (mscale p bm.e11 ratio) in
+        let r = make_mnode p am.mlevel r00 r01 r10 r11 in
+        Dd_cache.Three.store p.madd_cache am.mid bm.mid rid r;
+        r
+    in
+    mscale p unit_sum a.mw
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Matrix-vector and matrix-matrix products                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Weights are factored out: the recursion works on nodes as if their
+   incoming weights were 1, and the caller scales the result, so the cache
+   is keyed on the node pair alone. *)
+let rec mv_nodes p (m : mnode) (v : vnode) : vedge =
+  if m == mterminal then begin
+    assert (v == vterminal);
+    vone
+  end
+  else
+    match Dd_cache.Two.find p.mv_cache m.mid v.vid with
+    | Some r -> r
+    | None ->
+      assert (m.mlevel = v.vlevel);
+      let part me ve =
+        if medge_is_zero me || vedge_is_zero ve then vzero
+        else
+          let sub = mv_nodes p me.mtgt ve.vtgt in
+          vscale p sub (Cnum.mul me.mw ve.vw)
+      in
+      let r0 = vadd p (part m.e00 v.v0) (part m.e01 v.v1) in
+      let r1 = vadd p (part m.e10 v.v0) (part m.e11 v.v1) in
+      let r = make_vnode p m.mlevel r0 r1 in
+      Dd_cache.Two.store p.mv_cache m.mid v.vid r;
+      r
+
+let mv p (me : medge) (ve : vedge) =
+  if medge_is_zero me || vedge_is_zero ve then vzero
+  else
+    let r = mv_nodes p me.mtgt ve.vtgt in
+    vscale p r (Cnum.mul me.mw ve.vw)
+
+let rec mm_nodes p (a : mnode) (b : mnode) : medge =
+  if a == mterminal then begin
+    assert (b == mterminal);
+    mone
+  end
+  else
+    match Dd_cache.Two.find p.mm_cache a.mid b.mid with
+    | Some r -> r
+    | None ->
+      assert (a.mlevel = b.mlevel);
+      let part ae be =
+        if medge_is_zero ae || medge_is_zero be then mzero
+        else
+          let sub = mm_nodes p ae.mtgt be.mtgt in
+          mscale p sub (Cnum.mul ae.mw be.mw)
+      in
+      (* (A·B)_ij = Σ_k A_ik B_kj over the 2×2 block structure. *)
+      let r00 = madd p (part a.e00 b.e00) (part a.e01 b.e10) in
+      let r01 = madd p (part a.e00 b.e01) (part a.e01 b.e11) in
+      let r10 = madd p (part a.e10 b.e00) (part a.e11 b.e10) in
+      let r11 = madd p (part a.e10 b.e01) (part a.e11 b.e11) in
+      let r = make_mnode p a.mlevel r00 r01 r10 r11 in
+      Dd_cache.Two.store p.mm_cache a.mid b.mid r;
+      r
+
+let mm p (ae : medge) (be : medge) =
+  if medge_is_zero ae || medge_is_zero be then mzero
+  else
+    let r = mm_nodes p ae.mtgt be.mtgt in
+    mscale p r (Cnum.mul ae.mw be.mw)
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec mark_v acc (n : vnode) =
+  if n != vterminal && not n.vmark then begin
+    n.vmark <- true;
+    incr acc;
+    if not (vedge_is_zero n.v0) then mark_v acc n.v0.vtgt;
+    if not (vedge_is_zero n.v1) then mark_v acc n.v1.vtgt
+  end
+
+let rec unmark_v (n : vnode) =
+  if n != vterminal && n.vmark then begin
+    n.vmark <- false;
+    if not (vedge_is_zero n.v0) then unmark_v n.v0.vtgt;
+    if not (vedge_is_zero n.v1) then unmark_v n.v1.vtgt
+  end
+
+let vnode_count e =
+  if vedge_is_zero e then 0
+  else begin
+    let acc = ref 0 in
+    mark_v acc e.vtgt;
+    unmark_v e.vtgt;
+    !acc
+  end
+
+let rec mark_m acc (n : mnode) =
+  if n != mterminal && not n.mmark then begin
+    n.mmark <- true;
+    incr acc;
+    let visit e = if not (medge_is_zero e) then mark_m acc e.mtgt in
+    visit n.e00; visit n.e01; visit n.e10; visit n.e11
+  end
+
+let rec unmark_m (n : mnode) =
+  if n != mterminal && n.mmark then begin
+    n.mmark <- false;
+    let visit e = if not (medge_is_zero e) then unmark_m e.mtgt in
+    visit n.e00; visit n.e01; visit n.e10; visit n.e11
+  end
+
+let mnode_count e =
+  if medge_is_zero e then 0
+  else begin
+    let acc = ref 0 in
+    mark_m acc e.mtgt;
+    unmark_m e.mtgt;
+    !acc
+  end
+
+let vamplitude e i =
+  let rec go (e : vedge) acc =
+    if vedge_is_zero e then Cnum.zero
+    else begin
+      let acc = Cnum.mul acc e.vw in
+      let n = e.vtgt in
+      if n == vterminal then acc
+      else go (if Bits.bit i n.vlevel = 0 then n.v0 else n.v1) acc
+    end
+  in
+  go e Cnum.one
+
+let mentry e row col =
+  let rec go (e : medge) acc =
+    if medge_is_zero e then Cnum.zero
+    else begin
+      let acc = Cnum.mul acc e.mw in
+      let n = e.mtgt in
+      if n == mterminal then acc
+      else
+        let i = Bits.bit row n.mlevel and j = Bits.bit col n.mlevel in
+        go (medge_child e i j) acc
+    end
+  in
+  go e Cnum.one
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let clear_compute_caches p =
+  Dd_cache.Two.clear p.mv_cache;
+  Dd_cache.Two.clear p.mm_cache;
+  Dd_cache.Three.clear p.vadd_cache;
+  Dd_cache.Three.clear p.madd_cache
+
+let compact p ~vroots ~mroots =
+  let acc = ref 0 in
+  List.iter (fun e -> if not (vedge_is_zero e) then mark_v acc e.vtgt) vroots;
+  List.iter (fun e -> if not (medge_is_zero e) then mark_m acc e.mtgt) mroots;
+  (* Sweep: unique-table entries whose node is unmarked are dropped; the
+     OCaml GC then reclaims the node records themselves. *)
+  Hashtbl.filter_map_inplace
+    (fun _k n -> if n.vmark then Some n else None)
+    p.vunique;
+  Hashtbl.filter_map_inplace
+    (fun _k n -> if n.mmark then Some n else None)
+    p.munique;
+  List.iter (fun e -> if not (vedge_is_zero e) then unmark_v e.vtgt) vroots;
+  List.iter (fun e -> if not (medge_is_zero e) then unmark_m e.mtgt) mroots;
+  clear_compute_caches p
+
+let live_vnodes p = Hashtbl.length p.vunique
+let live_mnodes p = Hashtbl.length p.munique
+
+(* OCaml-runtime size estimates per node: record header + fields, boxed
+   edges and complex weights. Documented in DESIGN.md as the stand-in for
+   the paper's RSS measurements. *)
+let vnode_bytes = 8 * (6 + (2 * 6))
+let mnode_bytes = 8 * (8 + (4 * 6))
+
+let memory_bytes p =
+  (live_vnodes p * (vnode_bytes + 6 * 8))
+  + (live_mnodes p * (mnode_bytes + 10 * 8))
+  + Ctable.memory_bytes p.ct
+  + Dd_cache.Two.memory_bytes p.mv_cache
+  + Dd_cache.Two.memory_bytes p.mm_cache
+  + Dd_cache.Three.memory_bytes p.vadd_cache
+  + Dd_cache.Three.memory_bytes p.madd_cache
+
+let stats p =
+  Printf.sprintf
+    "vnodes=%d mnodes=%d cvalues=%d mv_hits=%d mv_misses=%d mem=%dKB"
+    (live_vnodes p) (live_mnodes p) (Ctable.count p.ct)
+    p.mv_cache.Dd_cache.Two.hits p.mv_cache.Dd_cache.Two.misses
+    (memory_bytes p / 1024)

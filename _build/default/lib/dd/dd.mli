@@ -1,0 +1,128 @@
+(** Quantum decision diagrams (QMDD-style).
+
+    Vectors and matrices are represented as weighted DAGs: a node at level
+    [l] (the qubit index) has two (vector) or four (matrix) outgoing edges
+    to level [l - 1]; the shared terminal node sits below level 0. A value
+    — amplitude or matrix entry — is the product of edge weights along the
+    corresponding path. Nodes are canonical: on construction, outgoing
+    weights are normalized by the largest-magnitude weight, snapped to the
+    package's complex table, and deduplicated through a unique table, so
+    structurally equal sub-vectors/-matrices are physically shared and
+    comparable by id.
+
+    Non-zero edges never skip levels; zero sub-trees are represented by
+    the {e zero edge} (weight 0 to the terminal) at any level. These two
+    invariants let every traversal pair matrix and vector nodes level by
+    level, which the DMAV kernels rely on.
+
+    A {!package} owns the tables. Nodes from different packages must not
+    be mixed. *)
+
+type vnode = private {
+  vid : int;
+  vlevel : int;                   (** -1 for the terminal *)
+  mutable vmark : bool;           (** traversal scratch bit *)
+  v0 : vedge;
+  v1 : vedge;
+}
+
+and vedge = { vtgt : vnode; vw : Cnum.t }
+
+type mnode = private {
+  mid : int;
+  mlevel : int;
+  mutable mmark : bool;
+  e00 : medge;
+  e01 : medge;
+  e10 : medge;
+  e11 : medge;
+}
+
+and medge = { mtgt : mnode; mw : Cnum.t }
+
+type package
+
+val create : ?tolerance:float -> unit -> package
+
+(** {1 Terminals and zero edges} *)
+
+val vterminal : vnode
+val mterminal : mnode
+val vzero : vedge
+val mzero : medge
+val vedge_is_zero : vedge -> bool
+val medge_is_zero : medge -> bool
+val vone : vedge
+(** Terminal edge with weight 1 (the scalar 1 as a 0-qubit vector). *)
+
+val mone : medge
+
+(** {1 Construction} *)
+
+val make_vnode : package -> int -> vedge -> vedge -> vedge
+(** [make_vnode p level e0 e1] is the normalized, deduplicated edge to the
+    node with children [e0] (low) and [e1] (high). Returns the zero edge
+    when both children are zero. The returned edge's weight carries the
+    normalization factor; callers scale it as needed. *)
+
+val make_mnode : package -> int -> medge -> medge -> medge -> medge -> medge
+(** Same for matrix nodes; children in row-major order e00 e01 e10 e11. *)
+
+val vscale : package -> vedge -> Cnum.t -> vedge
+(** Multiplies an edge weight (canonicalized; exact zero collapses to the
+    zero edge). *)
+
+val mscale : package -> medge -> Cnum.t -> medge
+val vweight : package -> Cnum.t -> Cnum.t
+(** Canonicalizes a raw complex weight through the package's table. *)
+
+val medge_child : medge -> int -> int -> medge
+(** [medge_child e i j] is row [i], column [j] outgoing edge of [e.mtgt]. *)
+
+(** {1 Arithmetic} *)
+
+val vadd : package -> vedge -> vedge -> vedge
+(** Pointwise vector addition (compute-cached). *)
+
+val madd : package -> medge -> medge -> medge
+
+val mv : package -> medge -> vedge -> vedge
+(** Matrix-vector product — the DD-based simulation step. *)
+
+val mm : package -> medge -> medge -> medge
+(** Matrix-matrix product (DDMM) — the gate-fusion primitive. *)
+
+(** {1 Inspection} *)
+
+val vnode_count : vedge -> int
+(** Number of distinct nodes reachable from the edge (excluding the
+    terminal) — the paper's "DD size" [s_i]. *)
+
+val mnode_count : medge -> int
+
+val vamplitude : vedge -> int -> Cnum.t
+(** [vamplitude e i] walks the path of basis index [i] from an edge at
+    level [n-1]; O(n). *)
+
+val mentry : medge -> int -> int -> Cnum.t
+(** Matrix entry (row, col) by path walk. *)
+
+(** {1 Package maintenance} *)
+
+val clear_compute_caches : package -> unit
+
+val compact : package -> vroots:vedge list -> mroots:medge list -> unit
+(** Mark-sweep garbage collection: drops every unique-table entry not
+    reachable from the given roots and clears the compute caches (whose
+    entries may reference dead nodes). Node ids remain valid. *)
+
+val stats : package -> string
+val live_vnodes : package -> int
+val live_mnodes : package -> int
+
+val memory_bytes : package -> int
+(** Estimated live bytes of the package: unique-table entries, node
+    records, compute caches and the complex table. Used by the memory
+    experiments in place of RSS. *)
+
+val ctable : package -> Ctable.t

@@ -1,0 +1,106 @@
+(* Direct-mapped compute caches, DDSIM-style: fixed capacity, overwrite on
+   collision. Decision-diagram operation caches trade hit rate for bounded
+   memory and O(1) maintenance; an unbounded Hashtbl would dominate the
+   memory profile on irregular circuits. *)
+
+module Two = struct
+  type 'a t = {
+    mask : int;
+    k1 : int array;
+    k2 : int array;
+    full : bool array;
+    vals : 'a array;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(bits = 16) dummy =
+    let size = 1 lsl bits in
+    { mask = size - 1;
+      k1 = Array.make size 0;
+      k2 = Array.make size 0;
+      full = Array.make size false;
+      vals = Array.make size dummy;
+      hits = 0;
+      misses = 0 }
+
+  let slot t a b = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) land t.mask
+
+  let find t a b =
+    let i = slot t a b in
+    if t.full.(i) && t.k1.(i) = a && t.k2.(i) = b then begin
+      t.hits <- t.hits + 1;
+      Some t.vals.(i)
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      None
+    end
+
+  let store t a b v =
+    let i = slot t a b in
+    t.k1.(i) <- a;
+    t.k2.(i) <- b;
+    t.vals.(i) <- v;
+    t.full.(i) <- true
+
+  let clear t =
+    Array.fill t.full 0 (Array.length t.full) false;
+    t.hits <- 0;
+    t.misses <- 0
+
+  let memory_bytes t = Array.length t.vals * 8 * 4
+end
+
+module Three = struct
+  type 'a t = {
+    mask : int;
+    k1 : int array;
+    k2 : int array;
+    k3 : int array;
+    full : bool array;
+    vals : 'a array;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(bits = 16) dummy =
+    let size = 1 lsl bits in
+    { mask = size - 1;
+      k1 = Array.make size 0;
+      k2 = Array.make size 0;
+      k3 = Array.make size 0;
+      full = Array.make size false;
+      vals = Array.make size dummy;
+      hits = 0;
+      misses = 0 }
+
+  let slot t a b c =
+    (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE35) land t.mask
+
+  let find t a b c =
+    let i = slot t a b c in
+    if t.full.(i) && t.k1.(i) = a && t.k2.(i) = b && t.k3.(i) = c then begin
+      t.hits <- t.hits + 1;
+      Some t.vals.(i)
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      None
+    end
+
+  let store t a b c v =
+    let i = slot t a b c in
+    t.k1.(i) <- a;
+    t.k2.(i) <- b;
+    t.k3.(i) <- c;
+    t.vals.(i) <- v;
+    t.full.(i) <- true
+
+  let clear t =
+    Array.fill t.full 0 (Array.length t.full) false;
+    t.hits <- 0;
+    t.misses <- 0
+
+  let memory_bytes t = Array.length t.vals * 8 * 5
+end

@@ -1,0 +1,51 @@
+type verdict =
+  | Equivalent
+  | Equivalent_up_to_phase of Cnum.t
+  | Not_equivalent
+
+let structural_identity ~n e =
+  if Dd.medge_is_zero e then Not_equivalent
+  else begin
+    (* Walk the diagonal: each level must look like [sub 0; 0 sub]. *)
+    let rec walk (node : Dd.mnode) level =
+      if level < 0 then node == Dd.mterminal
+      else if node == Dd.mterminal then false
+      else
+        Dd.medge_is_zero node.Dd.e01
+        && Dd.medge_is_zero node.Dd.e10
+        && (not (Dd.medge_is_zero node.Dd.e00))
+        && (not (Dd.medge_is_zero node.Dd.e11))
+        && node.Dd.e00.Dd.mtgt == node.Dd.e11.Dd.mtgt
+        && Cnum.equal node.Dd.e00.Dd.mw node.Dd.e11.Dd.mw
+        (* Canonical normalization makes the diagonal weights 1 when the
+           matrix is a scalar multiple of the identity. *)
+        && Cnum.is_one node.Dd.e00.Dd.mw
+        && walk node.Dd.e00.Dd.mtgt (level - 1)
+    in
+    if not (walk e.Dd.mtgt (n - 1)) then Not_equivalent
+    else if Cnum.is_one e.Dd.mw then Equivalent
+    else if Float.abs (Cnum.norm e.Dd.mw -. 1.0) < 1e-9 then
+      Equivalent_up_to_phase e.Dd.mw
+    else Not_equivalent
+  end
+
+let circuit_unitary p (c : Circuit.t) =
+  let n = c.Circuit.n in
+  Array.fold_left
+    (fun acc op -> Dd.mm p (Mat_dd.of_op p ~n op) acc)
+    (Mat_dd.identity p n) c.Circuit.ops
+
+let check ?package c1 c2 =
+  if c1.Circuit.n <> c2.Circuit.n then
+    invalid_arg "Equiv.check: circuits have different widths";
+  let p = match package with Some p -> p | None -> Dd.create () in
+  let n = c1.Circuit.n in
+  (* Build U2† · U1 as one rolling product (apply c1's gates, then c2's
+     inverse): when the circuits really are equivalent the accumulated DD
+     stays near the identity, which is what keeps this cheap. *)
+  let acc = ref (Mat_dd.identity p n) in
+  Array.iter (fun op -> acc := Dd.mm p (Mat_dd.of_op p ~n op) !acc) c1.Circuit.ops;
+  Array.iter
+    (fun op -> acc := Dd.mm p (Mat_dd.of_op p ~n op) !acc)
+    (Circuit.adjoint c2).Circuit.ops;
+  structural_identity ~n !acc

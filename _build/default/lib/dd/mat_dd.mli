@@ -1,0 +1,27 @@
+(** Gate matrices as decision diagrams.
+
+    Gates are built directly as [n]-level matrix DDs (never as dense
+    arrays): identity levels extend diagonally, control levels place an
+    identity block in the 0-branch and the gated block in the 1-branch,
+    and the target level holds the 2×2 (or 4×4) unitary. A local gate
+    therefore has O(n) DD nodes regardless of the register size, the
+    property the paper's DMAV exploits. *)
+
+val identity : Dd.package -> int -> Dd.medge
+(** [identity p n] is the 2^n × 2^n identity. *)
+
+val of_single :
+  Dd.package -> n:int -> target:int -> controls:int list -> Gate.single -> Dd.medge
+(** Single-qubit unitary on [target], conditioned on every qubit in
+    [controls] being 1. Controls may lie above or below the target. *)
+
+val of_two : Dd.package -> n:int -> q_hi:int -> q_lo:int -> Gate.two -> Dd.medge
+(** Uncontrolled two-qubit unitary; the 4×4 matrix is indexed by
+    [2·b(q_hi) + b(q_lo)]. *)
+
+val of_op : Dd.package -> n:int -> Circuit.op -> Dd.medge
+
+val to_dense : Dd.package -> n:int -> Dd.medge -> Cnum.t array array
+(** Expands to a dense 2^n × 2^n matrix; for tests on small [n]. *)
+
+val is_identity : ?tol:float -> n:int -> Dd.medge -> bool

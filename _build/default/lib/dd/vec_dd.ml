@@ -1,0 +1,81 @@
+let zero_state p n =
+  if n < 1 then invalid_arg "Vec_dd.zero_state";
+  let rec build l below =
+    if l = n then below
+    else build (l + 1) (Dd.make_vnode p l below Dd.vzero)
+  in
+  build 0 Dd.vone
+
+let basis_state p n i =
+  if n < 1 || i < 0 || i >= 1 lsl n then invalid_arg "Vec_dd.basis_state";
+  let rec build l below =
+    if l = n then below
+    else
+      let e =
+        if Bits.bit i l = 0 then Dd.make_vnode p l below Dd.vzero
+        else Dd.make_vnode p l Dd.vzero below
+      in
+      build (l + 1) e
+  in
+  build 0 Dd.vone
+
+let of_buf p buf =
+  let len = Buf.length buf in
+  if not (Bits.is_pow2 len) then invalid_arg "Vec_dd.of_buf: length not a power of two";
+  let n = Bits.log2_exact len in
+  let rec build l offset =
+    if l < 0 then
+      let a = Buf.get buf offset in
+      if Cnum.is_zero a then Dd.vzero else { Dd.vtgt = Dd.vterminal; vw = a }
+    else
+      let e0 = build (l - 1) offset in
+      let e1 = build (l - 1) (offset + (1 lsl l)) in
+      Dd.make_vnode p l e0 e1
+  in
+  build (n - 1) 0
+
+let to_buf _p n e =
+  let buf = Buf.create (1 lsl n) in
+  (* One DFS, multiplying edge weights down each path. Zero edges leave
+     the pre-zeroed buffer untouched. *)
+  let rec walk (e : Dd.vedge) offset w =
+    if not (Dd.vedge_is_zero e) then begin
+      let w = Cnum.mul w e.Dd.vw in
+      let node = e.Dd.vtgt in
+      if node == Dd.vterminal then Buf.set buf offset w
+      else begin
+        walk node.Dd.v0 offset w;
+        walk node.Dd.v1 (offset + (1 lsl node.Dd.vlevel)) w
+      end
+    end
+  in
+  walk e 0 Cnum.one;
+  buf
+
+let norm2 e =
+  (* Memoize per node: Σ|amp|² of the sub-vector with unit incoming
+     weight; an incoming weight w scales it by |w|². *)
+  let memo : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let rec node_norm (n : Dd.vnode) =
+    if n == Dd.vterminal then 1.0
+    else
+      match Hashtbl.find_opt memo n.Dd.vid with
+      | Some v -> v
+      | None ->
+        let contrib (e : Dd.vedge) =
+          if Dd.vedge_is_zero e then 0.0
+          else Cnum.norm2 e.Dd.vw *. node_norm e.Dd.vtgt
+        in
+        let v = contrib n.Dd.v0 +. contrib n.Dd.v1 in
+        Hashtbl.add memo n.Dd.vid v;
+        v
+  in
+  if Dd.vedge_is_zero e then 0.0
+  else Cnum.norm2 e.Dd.vw *. node_norm e.Dd.vtgt
+
+let equal ?(tol = 1e-8) ~n a b =
+  let ok = ref true in
+  for i = 0 to (1 lsl n) - 1 do
+    if not (Cnum.equal ~tol (Dd.vamplitude a i) (Dd.vamplitude b i)) then ok := false
+  done;
+  !ok

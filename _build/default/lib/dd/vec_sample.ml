@@ -1,0 +1,134 @@
+type t = {
+  n : int;
+  root : Dd.vedge;
+  norms : (int, float) Hashtbl.t;  (* node id -> Σ|amp|² with unit incoming weight *)
+  total : float;
+}
+
+let node_norm norms =
+  let rec go (node : Dd.vnode) =
+    if node == Dd.vterminal then 1.0
+    else
+      match Hashtbl.find_opt norms node.Dd.vid with
+      | Some v -> v
+      | None ->
+        let contrib (e : Dd.vedge) =
+          if Dd.vedge_is_zero e then 0.0 else Cnum.norm2 e.Dd.vw *. go e.Dd.vtgt
+        in
+        let v = contrib node.Dd.v0 +. contrib node.Dd.v1 in
+        Hashtbl.add norms node.Dd.vid v;
+        v
+  in
+  go
+
+let create n root =
+  if Dd.vedge_is_zero root then invalid_arg "Vec_sample.create: zero vector";
+  let norms = Hashtbl.create 1024 in
+  let total = Cnum.norm2 root.Dd.vw *. node_norm norms root.Dd.vtgt in
+  if total <= 0.0 then invalid_arg "Vec_sample.create: zero norm";
+  { n; root; norms; total }
+
+let sample t rng =
+  let norm_of (e : Dd.vedge) =
+    if Dd.vedge_is_zero e then 0.0
+    else Cnum.norm2 e.Dd.vw *. node_norm t.norms e.Dd.vtgt
+  in
+  let rec walk (node : Dd.vnode) acc =
+    if node == Dd.vterminal then acc
+    else begin
+      let p0 = norm_of node.Dd.v0 and p1 = norm_of node.Dd.v1 in
+      let u = Rng.float rng (p0 +. p1) in
+      if u < p0 then walk node.Dd.v0.Dd.vtgt acc
+      else walk node.Dd.v1.Dd.vtgt (Bits.set_bit acc node.Dd.vlevel)
+    end
+  in
+  walk t.root.Dd.vtgt 0
+
+let counts t rng ~shots =
+  let tbl = Hashtbl.create 64 in
+  for _ = 1 to shots do
+    let i = sample t rng in
+    Hashtbl.replace tbl i (1 + Option.value (Hashtbl.find_opt tbl i) ~default:0)
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let probability t i = Cnum.norm2 (Dd.vamplitude t.root i) /. t.total
+
+(* Projection rebuilds the DD top-down, replacing the discarded branch at
+   the measured level with the zero edge; nodes above the level are
+   re-made (their children changed), nodes below are shared untouched. *)
+let project p e q bit =
+  if Dd.vedge_is_zero e then Dd.vzero
+  else begin
+    let memo : (int, Dd.vedge) Hashtbl.t = Hashtbl.create 256 in
+    let rec go (node : Dd.vnode) =
+      (* Levels below [q] are never reached: recursion stops at [q]. *)
+      if node.Dd.vlevel < q then invalid_arg "Vec_sample.project: malformed DD"
+      else
+        match Hashtbl.find_opt memo node.Dd.vid with
+        | Some r -> r
+        | None ->
+          let r =
+            if node.Dd.vlevel = q then
+              if bit = 0 then Dd.make_vnode p q node.Dd.v0 Dd.vzero
+              else Dd.make_vnode p q Dd.vzero node.Dd.v1
+            else begin
+              let child (e : Dd.vedge) =
+                if Dd.vedge_is_zero e then Dd.vzero
+                else Dd.vscale p (go e.Dd.vtgt) e.Dd.vw
+              in
+              Dd.make_vnode p node.Dd.vlevel (child node.Dd.v0) (child node.Dd.v1)
+            end
+          in
+          Hashtbl.add memo node.Dd.vid r;
+          r
+    in
+    Dd.vscale p (go e.Dd.vtgt) e.Dd.vw
+  end
+
+let measure_qubit p ?rng ~n e q =
+  if q < 0 || q >= n then invalid_arg "Vec_sample.measure_qubit: bad qubit";
+  if Dd.vedge_is_zero e then invalid_arg "Vec_sample.measure_qubit: zero vector";
+  let rng = match rng with Some r -> r | None -> Rng.create 42 in
+  let total = Vec_dd.norm2 e in
+  let p1 =
+    let proj1 = project p e q 1 in
+    Vec_dd.norm2 proj1 /. total
+  in
+  let outcome = if Rng.float rng 1.0 < p1 then 1 else 0 in
+  let projected = project p e q outcome in
+  let norm = Vec_dd.norm2 projected in
+  let collapsed = Dd.vscale p projected (Cnum.of_float (1.0 /. sqrt norm)) in
+  (outcome, collapsed)
+
+(* <a|b> with weights factored out: the memo is keyed on node pairs, each
+   entry holding the inner product of the two unit-weight sub-vectors. *)
+let dot a b =
+  if Dd.vedge_is_zero a || Dd.vedge_is_zero b then Cnum.zero
+  else begin
+    let memo : (int * int, Cnum.t) Hashtbl.t = Hashtbl.create 1024 in
+    let rec nodes (x : Dd.vnode) (y : Dd.vnode) =
+      if x == Dd.vterminal then Cnum.one
+      else
+        match Hashtbl.find_opt memo (x.Dd.vid, y.Dd.vid) with
+        | Some v -> v
+        | None ->
+          let part (ex : Dd.vedge) (ey : Dd.vedge) =
+            if Dd.vedge_is_zero ex || Dd.vedge_is_zero ey then Cnum.zero
+            else
+              Cnum.mul
+                (Cnum.mul (Cnum.conj ex.Dd.vw) ey.Dd.vw)
+                (nodes ex.Dd.vtgt ey.Dd.vtgt)
+          in
+          let v = Cnum.add (part x.Dd.v0 y.Dd.v0) (part x.Dd.v1 y.Dd.v1) in
+          Hashtbl.add memo (x.Dd.vid, y.Dd.vid) v;
+          v
+    in
+    assert (a.Dd.vtgt.Dd.vlevel = b.Dd.vtgt.Dd.vlevel);
+    Cnum.mul
+      (Cnum.mul (Cnum.conj a.Dd.vw) b.Dd.vw)
+      (nodes a.Dd.vtgt b.Dd.vtgt)
+  end
+
+let fidelity a b = Cnum.norm2 (dot a b)

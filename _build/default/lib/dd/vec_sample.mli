@@ -1,0 +1,52 @@
+(** Measurement sampling and overlaps directly on DD state vectors.
+
+    A DD state can be sampled {e without} expanding it to a flat array:
+    walking from the root, each node chooses its 0- or 1-branch with
+    probability proportional to |edge weight|² times the sub-vector's
+    squared norm. One sample costs O(n); preparing the sampler costs one
+    pass over the DD's nodes. This is how DDSIM-style weak simulation
+    draws shots from states far too large to flatten, and FlatDD inherits
+    it for runs that never leave the DD phase. *)
+
+type t
+
+val create : int -> Dd.vedge -> t
+(** [create n e] prepares a sampler over an [n]-qubit state DD. The state
+    need not be normalized; probabilities are taken relative to its total
+    norm. @raise Invalid_argument on the zero vector. *)
+
+val sample : t -> Rng.t -> int
+(** Draws one basis index from |amplitude|²/‖ψ‖². *)
+
+val counts : t -> Rng.t -> shots:int -> (int * int) list
+(** [counts t rng ~shots] draws [shots] samples and returns (basis index,
+    count) pairs sorted by decreasing count. *)
+
+val probability : t -> int -> float
+(** Exact probability of one basis index (normalized), via a path walk. *)
+
+(** {1 Projective measurement with collapse} *)
+
+val measure_qubit :
+  Dd.package -> ?rng:Rng.t -> n:int -> Dd.vedge -> int -> int * Dd.vedge
+(** [measure_qubit p ~n e q] measures qubit [q] of an [n]-qubit state DD:
+    samples the outcome from the state's marginal, and returns it together
+    with the renormalized post-measurement state — still a DD, so
+    mid-circuit measurement works without ever flattening the state.
+    @raise Invalid_argument on the zero vector or a bad qubit. *)
+
+val project : Dd.package -> Dd.vedge -> int -> int -> Dd.vedge
+(** [project p e q bit] zeroes every amplitude whose qubit [q] differs
+    from [bit] (no renormalization); the zero edge if the branch has no
+    support. *)
+
+(** {1 Overlaps} *)
+
+val dot : Dd.vedge -> Dd.vedge -> Cnum.t
+(** ⟨a|b⟩ = Σᵢ conj(aᵢ)·bᵢ, computed by a memoized simultaneous descent —
+    O(|A|·|B|) node pairs worst case, without expanding either vector.
+    Both edges must come from the same package and root at the same
+    level. *)
+
+val fidelity : Dd.vedge -> Dd.vedge -> float
+(** |⟨a|b⟩|² for unit vectors. *)

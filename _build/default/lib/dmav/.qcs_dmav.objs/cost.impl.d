@@ -1,0 +1,1 @@
+lib/dmav/cost.ml: Array Bits Cnum Dd Float Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/dmav/cost.mli: Dd

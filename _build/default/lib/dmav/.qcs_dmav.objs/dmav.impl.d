@@ -1,0 +1,1 @@
+lib/dmav/dmav.ml: Array Bits Buf Cnum Cost Dd Hashtbl List Pool

@@ -1,0 +1,1 @@
+lib/dmav/dmav.mli: Buf Cost Dd Pool

@@ -1,0 +1,120 @@
+let mac_count (e : Dd.medge) =
+  if Dd.medge_is_zero e then 0.0
+  else begin
+    let memo : (int, float) Hashtbl.t = Hashtbl.create 256 in
+    let rec count (node : Dd.mnode) =
+      if node == Dd.mterminal then 1.0
+      else
+        match Hashtbl.find_opt memo node.Dd.mid with
+        | Some v -> v
+        | None ->
+          let edge (e : Dd.medge) =
+            if Dd.medge_is_zero e then 0.0 else count e.Dd.mtgt
+          in
+          let v = edge node.Dd.e00 +. edge node.Dd.e01
+                  +. edge node.Dd.e10 +. edge node.Dd.e11 in
+          Hashtbl.add memo node.Dd.mid v;
+          v
+    in
+    count e.Dd.mtgt
+  end
+
+type breakdown = {
+  k1 : float;
+  k2 : float;
+  hits : int;
+  buffers : int;
+}
+
+let pow2_threads ~n threads =
+  let t = ref 1 in
+  while !t * 2 <= threads && Bits.log2_exact (!t * 2) <= n do
+    t := !t * 2
+  done;
+  !t
+
+(* Mirror of Algorithm 2's AssignCache: collect each thread's border-level
+   task nodes, then count per-thread node repeats (cache hits) and run the
+   greedy buffer allocation over the threads' output-block sets. *)
+let assign_cache_tasks ~n ~t (root : Dd.medge) =
+  let border = n - Bits.log2_exact t - 1 in
+  let tasks = Array.make t [] in
+  let rec go (e : Dd.medge) u ip l =
+    if not (Dd.medge_is_zero e) then begin
+      if l = border then tasks.(u) <- (e.Dd.mtgt, ip) :: tasks.(u)
+      else begin
+        let step = t / (1 lsl (n - l)) in
+        let half = 1 lsl l in
+        (* Column-major: the thread index follows the column bit j, the
+           partial-output offset follows the row bit i. *)
+        for j = 0 to 1 do
+          for i = 0 to 1 do
+            go (Dd.medge_child e i j) (u + (j * step)) (ip + (i * half)) (l - 1)
+          done
+        done
+      end
+    end
+  in
+  go root 0 0 (n - 1);
+  Array.map List.rev tasks
+
+let allocate_buffers per_thread_blocks =
+  (* Greedy: each thread joins the first buffer whose occupied block set is
+     disjoint from its own, else opens a new buffer. (The paper tests one
+     candidate thread j; testing the buffer's full occupied set is the
+     correct generalization when 3+ threads fold into one buffer.) *)
+  let buffers : (int, unit) Hashtbl.t list ref = ref [] in
+  let assignment =
+    Array.map
+      (fun blocks ->
+         let disjoint occupied = List.for_all (fun b -> not (Hashtbl.mem occupied b)) blocks in
+         let rec find i = function
+           | [] -> None
+           | occ :: rest -> if disjoint occ then Some (i, occ) else find (i + 1) rest
+         in
+         match find 0 !buffers with
+         | Some (i, occ) ->
+           List.iter (fun b -> Hashtbl.replace occ b ()) blocks;
+           i
+         | None ->
+           let occ = Hashtbl.create 16 in
+           List.iter (fun b -> Hashtbl.replace occ b ()) blocks;
+           buffers := !buffers @ [ occ ];
+           List.length !buffers - 1)
+      per_thread_blocks
+  in
+  (assignment, List.length !buffers)
+
+let breakdown ~n ~threads root =
+  let t = pow2_threads ~n threads in
+  let tasks = assign_cache_tasks ~n ~t root in
+  let k2 = ref 0.0 and hits = ref 0 in
+  Array.iter
+    (fun lst ->
+       let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+       List.iter
+         (fun ((node : Dd.mnode), _ip) ->
+            if Hashtbl.mem seen node.Dd.mid then incr hits
+            else begin
+              Hashtbl.replace seen node.Dd.mid ();
+              k2 := !k2 +. mac_count { Dd.mtgt = node; mw = Cnum.one }
+            end)
+         lst)
+    tasks;
+  let per_thread_blocks = Array.map (List.map snd) tasks in
+  let _, buffers = allocate_buffers per_thread_blocks in
+  { k1 = mac_count root; k2 = !k2; hits = !hits; buffers }
+
+type decision = { cached : bool; c1 : float; c2 : float; threads_used : int }
+
+let decide ~n ~threads ~simd_width root =
+  let tu = pow2_threads ~n threads in
+  let t = float_of_int tu in
+  let d = float_of_int (Int.max 1 simd_width) in
+  let b = breakdown ~n ~threads root in
+  let dim = Float.pow 2.0 (float_of_int n) in
+  let c1 = b.k1 /. t in
+  let c2 = (b.k2 /. t) +. (dim /. (d *. t) *. ((float_of_int b.hits /. t) +. float_of_int b.buffers)) in
+  { cached = c2 < c1; c1; c2; threads_used = tu }
+
+let modeled_macs d = float_of_int d.threads_used *. Float.min d.c1 d.c2

@@ -1,0 +1,57 @@
+(** The DMAV computational cost model (paper §3.2.3).
+
+    The unit of cost is the multiply-accumulate (MAC): one terminal visit
+    of the [Run] recursion. The MAC count of a matrix DD is computed by a
+    memoized depth-first walk — identical nodes contribute identical
+    counts, the terminal contributes one (Figure 8).
+
+    For an [n]-qubit DMAV on [t] threads with SIMD width [d]:
+    - without caching (Eq. 5):  [C₁ = K₁ / t];
+    - with caching (Eq. 6):     [C₂ = K₂/t + 2ⁿ/(d·t) · (H/t + b)],
+
+    where [K₁] is the full MAC count, [H] the number of border-level tasks
+    whose sub-matrix node repeats within a thread (cache hits), [K₂] the
+    MACs of the remaining (non-repeated) tasks, and [b] the number of
+    partial-output buffers. *)
+
+val pow2_threads : n:int -> int -> int
+(** Largest power of two ≤ both the requested thread count and 2ⁿ — the
+    thread count the Assign recursions actually split over. *)
+
+val allocate_buffers : int list array -> int array * int
+(** Greedy partial-output buffer allocation over per-thread output-block
+    sets: each thread joins the first buffer whose occupied set is
+    disjoint from its own, else opens a new one. Returns the thread →
+    buffer assignment and the buffer count [b]. *)
+
+val assign_cache_tasks : n:int -> t:int -> Dd.medge -> (Dd.mnode * int) list array
+(** The column-space (AssignCache) task assignment without executing it:
+    for each of the [t] threads, the border-level (sub-matrix node,
+    output-block start) pairs in assignment order. Exposed for the
+    load-balance analyses in the benchmark harness. *)
+
+val mac_count : Dd.medge -> float
+(** [K₁] — total MACs of multiplying this matrix DD by a dense vector.
+    Float because counts reach 2ⁿ·(dense paths) and must not overflow
+    silently. *)
+
+type breakdown = {
+  k1 : float;
+  k2 : float;
+  hits : int;        (** [H] *)
+  buffers : int;     (** [b] *)
+}
+
+val breakdown : n:int -> threads:int -> Dd.medge -> breakdown
+(** Simulates the cached task assignment (Algorithm 2's AssignCache and
+    buffer allocation) without touching any state vector. [threads] is
+    rounded down to a power of two, as in {!Dmav}. *)
+
+type decision = { cached : bool; c1 : float; c2 : float; threads_used : int }
+
+val decide : n:int -> threads:int -> simd_width:int -> Dd.medge -> decision
+(** Chooses the cheaper kernel: cached iff [C₂ < C₁]. *)
+
+val modeled_macs : decision -> float
+(** [min C₁ C₂ × t] — the modeled MAC work of the chosen kernel, the
+    quantity Table 2 reports as "Cost". *)

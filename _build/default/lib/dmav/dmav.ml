@@ -1,0 +1,229 @@
+(* The Run recursion (Algorithm 1) carries the accumulated weight product
+   as two unboxed floats to keep the hot path allocation-free. The level
+   parameter of the paper is implicit in each node's own level. *)
+(* W[iw] += (f·ew) · V[iv] — the MAC the cost model counts. *)
+let[@inline] mac (e : Dd.medge) (v : float array) (w : float array) iv iw fre fim =
+  let ew = e.Dd.mw in
+  let gre = (fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im) in
+  let gim = (fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re) in
+  let vre = v.(2 * iv) and vim = v.((2 * iv) + 1) in
+  w.(2 * iw) <- w.(2 * iw) +. ((gre *. vre) -. (gim *. vim));
+  w.((2 * iw) + 1) <- w.((2 * iw) + 1) +. ((gre *. vim) +. (gim *. vre))
+
+let rec run_node (node : Dd.mnode) (v : float array) (w : float array)
+    iv iw fre fim =
+  if node.Dd.mlevel = 0 then begin
+    (* The children are terminals: perform the (up to) four MACs inline,
+       which halves the visit count of the recursion. *)
+    let e00 = node.Dd.e00 and e01 = node.Dd.e01 in
+    let e10 = node.Dd.e10 and e11 = node.Dd.e11 in
+    if not (Dd.medge_is_zero e00) then mac e00 v w iv iw fre fim;
+    if not (Dd.medge_is_zero e01) then mac e01 v w (iv + 1) iw fre fim;
+    if not (Dd.medge_is_zero e10) then mac e10 v w iv (iw + 1) fre fim;
+    if not (Dd.medge_is_zero e11) then mac e11 v w (iv + 1) (iw + 1) fre fim
+  end
+  else if node == Dd.mterminal then begin
+    (* Degenerate n = 0 case (a border task at level -1). *)
+    let vre = v.(2 * iv) and vim = v.((2 * iv) + 1) in
+    w.(2 * iw) <- w.(2 * iw) +. ((fre *. vre) -. (fim *. vim));
+    w.((2 * iw) + 1) <- w.((2 * iw) + 1) +. ((fre *. vim) +. (fim *. vre))
+  end
+  else begin
+    let half = 1 lsl node.Dd.mlevel in
+    let e00 = node.Dd.e00 and e01 = node.Dd.e01 in
+    let e10 = node.Dd.e10 and e11 = node.Dd.e11 in
+    if not (Dd.medge_is_zero e00) then begin
+      let ew = e00.Dd.mw in
+      run_node e00.Dd.mtgt v w iv iw
+        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
+        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    end;
+    if not (Dd.medge_is_zero e01) then begin
+      let ew = e01.Dd.mw in
+      run_node e01.Dd.mtgt v w (iv + half) iw
+        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
+        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    end;
+    if not (Dd.medge_is_zero e10) then begin
+      let ew = e10.Dd.mw in
+      run_node e10.Dd.mtgt v w iv (iw + half)
+        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
+        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    end;
+    if not (Dd.medge_is_zero e11) then begin
+      let ew = e11.Dd.mw in
+      run_node e11.Dd.mtgt v w (iv + half) (iw + half)
+        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
+        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    end
+  end
+
+(* A border-level multiplication task: the sub-matrix node with the full
+   weight product (path weights and the border edge's own weight folded
+   together, which is what the caching factor needs), plus the sub-vector
+   start index — I_V for the row-space kernel, I_P for the column-space
+   one. *)
+type task = { node : Dd.mnode; start : int; weight : Cnum.t }
+
+(* Algorithm 1's Assign: row-major traversal of the top log₂ t levels.
+   The thread index follows row bits; the V offset follows column bits. *)
+let assign_rows ~n ~t (root : Dd.medge) =
+  let border = n - Bits.log2_exact t - 1 in
+  let tasks = Array.make t [] in
+  let rec go (e : Dd.medge) (f : Cnum.t) u iv l =
+    if not (Dd.medge_is_zero e) then begin
+      if l = border then
+        tasks.(u) <- { node = e.Dd.mtgt; start = iv; weight = Cnum.mul f e.Dd.mw }
+                     :: tasks.(u)
+      else begin
+        let step = t / (1 lsl (n - l)) in
+        let half = 1 lsl l in
+        let f' = Cnum.mul f e.Dd.mw in
+        for i = 0 to 1 do
+          for j = 0 to 1 do
+            go (Dd.medge_child e i j) f' (u + (i * step)) (iv + (j * half)) (l - 1)
+          done
+        done
+      end
+    end
+  in
+  go root Cnum.one 0 0 (n - 1);
+  Array.map List.rev tasks
+
+(* Algorithm 2's AssignCache: column-major — the thread index follows
+   column bits, the partial-output offset follows row bits. *)
+let assign_cols ~n ~t (root : Dd.medge) =
+  let border = n - Bits.log2_exact t - 1 in
+  let tasks = Array.make t [] in
+  let rec go (e : Dd.medge) (f : Cnum.t) u ip l =
+    if not (Dd.medge_is_zero e) then begin
+      if l = border then
+        tasks.(u) <- { node = e.Dd.mtgt; start = ip; weight = Cnum.mul f e.Dd.mw }
+                     :: tasks.(u)
+      else begin
+        let step = t / (1 lsl (n - l)) in
+        let half = 1 lsl l in
+        let f' = Cnum.mul f e.Dd.mw in
+        for j = 0 to 1 do
+          for i = 0 to 1 do
+            go (Dd.medge_child e i j) f' (u + (j * step)) (ip + (i * half)) (l - 1)
+          done
+        done
+      end
+    end
+  in
+  go root Cnum.one 0 0 (n - 1);
+  Array.map List.rev tasks
+
+let apply_nocache ~pool ~n root ~v ~w =
+  if Buf.length v <> 1 lsl n || Buf.length w <> 1 lsl n then
+    invalid_arg "Dmav.apply_nocache: buffer size mismatch";
+  let t = Cost.pow2_threads ~n (Pool.size pool) in
+  let h = (1 lsl n) / t in
+  let tasks = assign_rows ~n ~t root in
+  Buf.fill_zero w;
+  let vd = v.Buf.data and wd = w.Buf.data in
+  Pool.run pool (fun u ->
+      if u < t then
+        List.iter
+          (fun task ->
+             run_node task.node vd wd task.start (u * h)
+               task.weight.Cnum.re task.weight.Cnum.im)
+          tasks.(u))
+
+type workspace = { ws_n : int; mutable free : Buf.t list }
+
+let workspace ~n = { ws_n = n; free = [] }
+
+let take_buffer ws n =
+  match ws with
+  | Some ws when ws.ws_n = n ->
+    (match ws.free with
+     | b :: rest ->
+       ws.free <- rest;
+       b
+     | [] -> Buf.create (1 lsl n))
+  | _ -> Buf.create (1 lsl n)
+
+let return_buffers ws bufs =
+  match ws with
+  | Some ws -> ws.free <- List.rev_append bufs ws.free
+  | None -> ()
+
+let apply_cache ?workspace ~pool ~n root ~v ~w =
+  if Buf.length v <> 1 lsl n || Buf.length w <> 1 lsl n then
+    invalid_arg "Dmav.apply_cache: buffer size mismatch";
+  let t = Cost.pow2_threads ~n (Pool.size pool) in
+  let h = (1 lsl n) / t in
+  let tasks = assign_cols ~n ~t root in
+  (* Buffer allocation over the threads' output-block sets. *)
+  let blocks = Array.map (List.map (fun task -> task.start)) tasks in
+  let v_b, n_buffers = Cost.allocate_buffers blocks in
+  let bufs = Array.init n_buffers (fun _ -> take_buffer workspace n) in
+  (* Occupied blocks per buffer, for targeted zeroing and summation. *)
+  let occupied = Array.make n_buffers [] in
+  Array.iteri
+    (fun u blks ->
+       List.iter
+         (fun b ->
+            if not (List.mem b occupied.(v_b.(u)))
+            then occupied.(v_b.(u)) <- b :: occupied.(v_b.(u)))
+         blks)
+    blocks;
+  (* Zero exactly the blocks Run will accumulate into. *)
+  Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n_buffers (fun bi ->
+      List.iter (fun blk -> Buf.fill_zero_range bufs.(bi) ~pos:blk ~len:h) occupied.(bi));
+  let hits = ref 0 in
+  let hit_counts = Array.make t 0 in
+  Pool.run pool (fun u ->
+      if u < t then begin
+        let buf = bufs.(v_b.(u)) in
+        let cache : (int, Cnum.t * int) Hashtbl.t = Hashtbl.create 16 in
+        let vd = v.Buf.data and bd = buf.Buf.data in
+        List.iter
+          (fun task ->
+             match Hashtbl.find_opt cache task.node.Dd.mid with
+             | Some (f0, ip0) ->
+               (* Same sub-matrix node, same V slice: the new block is the
+                  old one scaled by the weight ratio. *)
+               hit_counts.(u) <- hit_counts.(u) + 1;
+               Buf.scale_into ~src:buf ~src_pos:ip0 ~dst:buf ~dst_pos:task.start
+                 ~len:h (Cnum.div task.weight f0)
+             | None ->
+               run_node task.node vd bd (u * h) task.start
+                 task.weight.Cnum.re task.weight.Cnum.im;
+               Hashtbl.replace cache task.node.Dd.mid (task.weight, task.start))
+          tasks.(u)
+      end);
+  Array.iter (fun c -> hits := !hits + c) hit_counts;
+  (* Sum the partial outputs into W, one output block per loop step. *)
+  let contributors = Array.make t [] in
+  Array.iteri
+    (fun bi blks -> List.iter (fun blk -> contributors.(blk / h) <- bi :: contributors.(blk / h)) blks)
+    occupied;
+  Buf.fill_zero w;
+  Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:t (fun blk ->
+      List.iter
+        (fun bi ->
+           Buf.add_into ~src:bufs.(bi) ~src_pos:(blk * h) ~dst:w ~dst_pos:(blk * h) ~len:h)
+        contributors.(blk));
+  return_buffers workspace (Array.to_list bufs);
+  (!hits, n_buffers)
+
+type exec_stats = {
+  used_cache : bool;
+  decision : Cost.decision;
+  cache_hits : int;
+  buffers_used : int;
+}
+
+let apply ?workspace:ws ~pool ~simd_width ~n root ~v ~w =
+  let decision = Cost.decide ~n ~threads:(Pool.size pool) ~simd_width root in
+  if decision.Cost.cached then begin
+    let hits, buffers = apply_cache ?workspace:ws ~pool ~n root ~v ~w in
+    { used_cache = true; decision; cache_hits = hits; buffers_used = buffers }
+  end
+  else begin
+    apply_nocache ~pool ~n root ~v ~w;
+    { used_cache = false; decision; cache_hits = 0; buffers_used = 0 }
+  end

@@ -1,0 +1,58 @@
+(** Parallel DD-matrix × array-vector multiplication (paper §3.2).
+
+    [apply] computes [W ← M·V] for an [n]-qubit gate matrix DD [M] and a
+    flat state vector [V], over the threads of a pool ([t] is rounded down
+    to a power of two, the shape both Assign functions require).
+
+    Two kernels are provided. The row-space kernel (Algorithm 1) assigns
+    thread [u] every (row-block [u], column-block [j]) sub-matrix task, so
+    threads write disjoint [h]-sized slices of [W] ([h = 2ⁿ/t]). The
+    column-space caching kernel (Algorithm 2) assigns thread [u] the tasks
+    of column block [u]; since all of a thread's tasks share the same
+    [V] slice, a repeated sub-matrix node means the new output block is a
+    scalar multiple of an earlier one, served from a per-thread cache with
+    one SIMD-style block scale. Threads write [h]-blocks of shared partial
+    output buffers (threads with disjoint block sets share a buffer), and
+    the buffers are summed into [W] in parallel at the end.
+
+    [apply] picks between the kernels per gate with the §3.2.3 cost
+    model. *)
+
+type workspace
+(** Reusable partial-output buffers, so repeated cached applications do
+    not reallocate 2ⁿ-sized vectors per gate. *)
+
+val workspace : n:int -> workspace
+
+type exec_stats = {
+  used_cache : bool;
+  decision : Cost.decision;
+  cache_hits : int;     (** realized hits (= modeled H when cached) *)
+  buffers_used : int;
+}
+
+val apply :
+  ?workspace:workspace ->
+  pool:Pool.t ->
+  simd_width:int ->
+  n:int ->
+  Dd.medge ->
+  v:Buf.t ->
+  w:Buf.t ->
+  exec_stats
+(** [apply ~pool ~simd_width ~n m ~v ~w] overwrites [w] with [m·v],
+    choosing the kernel by modeled cost. [v] and [w] must be distinct
+    buffers of length 2ⁿ. *)
+
+val apply_nocache : pool:Pool.t -> n:int -> Dd.medge -> v:Buf.t -> w:Buf.t -> unit
+(** Algorithm 1, unconditionally. *)
+
+val apply_cache :
+  ?workspace:workspace ->
+  pool:Pool.t ->
+  n:int ->
+  Dd.medge ->
+  v:Buf.t ->
+  w:Buf.t ->
+  int * int
+(** Algorithm 2, unconditionally; returns (cache hits, buffers used). *)

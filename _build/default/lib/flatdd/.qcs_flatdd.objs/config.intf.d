@@ -1,0 +1,1 @@
+lib/flatdd/config.mli:

@@ -1,0 +1,1 @@
+lib/flatdd/ewma.mli:

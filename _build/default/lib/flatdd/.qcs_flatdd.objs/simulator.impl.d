@@ -1,0 +1,1 @@
+lib/flatdd/simulator.ml: Array Buf Circuit Config Convert Cost Dd Dmav Ewma Fun Fusion Int List Mat_dd Option Pool Timer Vec_dd

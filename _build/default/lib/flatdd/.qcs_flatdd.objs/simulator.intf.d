@@ -1,0 +1,1 @@
+lib/flatdd/simulator.mli: Buf Circuit Config Convert Dd Fusion Pool

@@ -1,0 +1,32 @@
+type fusion_mode =
+  | No_fusion
+  | Dmav_aware
+  | K_operations of int
+
+type conversion_policy =
+  | Ewma_policy
+  | Convert_at of int
+  | Never_convert
+
+type t = {
+  threads : int;
+  beta : float;
+  epsilon : float;
+  simd_width : int;
+  fusion : fusion_mode;
+  policy : conversion_policy;
+  compact_every : int;
+  trace : bool;
+}
+
+let default =
+  { threads = 1;
+    beta = 0.9;
+    epsilon = 2.0;
+    simd_width = 4;
+    fusion = No_fusion;
+    policy = Ewma_policy;
+    compact_every = 64;
+    trace = false }
+
+let with_threads threads t = { t with threads }

@@ -1,0 +1,28 @@
+(** FlatDD engine configuration. *)
+
+type fusion_mode =
+  | No_fusion
+  | Dmav_aware          (** Algorithm 3, the paper's contribution *)
+  | K_operations of int (** fixed-size DDMM grouping (DATE'19 baseline) *)
+
+type conversion_policy =
+  | Ewma_policy           (** monitor the DD size with β/ε (the default) *)
+  | Convert_at of int     (** unconditionally convert after this gate index *)
+  | Never_convert         (** stay in DD simulation (ablation / baseline) *)
+
+type t = {
+  threads : int;          (** total worker parallelism (≥ 1) *)
+  beta : float;           (** EWMA smoothing, paper uses 0.9 *)
+  epsilon : float;        (** conversion threshold, paper uses 2.0 *)
+  simd_width : int;       (** the [d] of the cost model, 4 ≈ AVX2 doubles *)
+  fusion : fusion_mode;
+  policy : conversion_policy;
+  compact_every : int;    (** DD-package GC interval in gates; 0 = never *)
+  trace : bool;           (** record the per-gate trace *)
+}
+
+val default : t
+(** 1 thread, β = 0.9, ε = 2.0, d = 4, no fusion, EWMA policy,
+    compaction every 64 gates, no trace. *)
+
+val with_threads : int -> t -> t

@@ -1,0 +1,26 @@
+type t = {
+  beta : float;
+  epsilon : float;
+  mutable v : float;
+  mutable started : bool;
+}
+
+type verdict = Stay | Convert
+
+let create ~beta ~epsilon =
+  if not (beta >= 0.0 && beta < 1.0) then invalid_arg "Ewma.create: beta in [0,1)";
+  if not (epsilon > 0.0) then invalid_arg "Ewma.create: epsilon > 0";
+  { beta; epsilon; v = 0.0; started = false }
+
+let observe t s =
+  if not t.started then begin
+    t.started <- true;
+    t.v <- s;
+    Stay
+  end
+  else begin
+    t.v <- (t.beta *. t.v) +. ((1.0 -. t.beta) *. s);
+    if t.epsilon *. t.v < s then Convert else Stay
+  end
+
+let value t = t.v

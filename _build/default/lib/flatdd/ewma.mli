@@ -1,0 +1,29 @@
+(** Exponentially weighted moving average of the state DD size, deciding
+    when to convert from DD simulation to DMAV (paper §3.1.1).
+
+    After gate [i] with state-DD size [sᵢ]:
+    [vᵢ = β·vᵢ₋₁ + (1-β)·sᵢ], and the simulation converts when
+    [ε·vᵢ < sᵢ] — i.e. when the current size spikes above the smoothed
+    history by more than the threshold factor implied by ε and β.
+
+    One deviation from the paper's description: the paper initializes
+    [v₀ = 0], under which the very first observation would always trigger
+    ([ε·(1-β)·s₁ < s₁] for the recommended β = 0.9, ε = 2). We initialize
+    [v₀] to the first observed size instead, which preserves the intended
+    behaviour — no conversion while the size tracks its history, prompt
+    conversion during regime change. *)
+
+type t
+
+type verdict = Stay | Convert
+
+val create : beta:float -> epsilon:float -> t
+(** Requires [0 ≤ β < 1] and [ε > 0]. *)
+
+val observe : t -> float -> verdict
+(** Feed the next DD size; returns whether to convert now. After a
+    [Convert] verdict the monitor keeps accepting observations (callers
+    normally stop consulting it). *)
+
+val value : t -> float
+(** Current smoothed size [vᵢ] (0 before any observation). *)

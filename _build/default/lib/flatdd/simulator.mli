@@ -1,0 +1,57 @@
+(** The FlatDD hybrid simulator (Figure 3's overall algorithm).
+
+    A run starts in DD simulation. After every gate the state DD's node
+    count feeds the EWMA monitor; when the monitor signals (or the
+    configured policy dictates), the state is converted once to a flat
+    array with the parallel converter and the remaining gates execute as
+    DMAV multiplications — optionally fused first — each choosing the
+    cached or uncached kernel by the cost model. Regular circuits never
+    trigger the conversion and finish entirely in DD form. *)
+
+type phase = Dd_phase | Conversion | Dmav_phase
+
+type gate_record = {
+  index : int;            (** index into the (possibly fused) gate stream *)
+  name : string;
+  seconds : float;
+  phase : phase;
+  dd_size : int;          (** state DD nodes (DD phase only; 0 after) *)
+  ewma : float;           (** monitor value when this gate finished *)
+  cached : bool option;   (** DMAV kernel choice, when applicable *)
+}
+
+type final_state =
+  | Dd_state of { package : Dd.package; edge : Dd.vedge }
+  | Flat_state of Buf.t
+
+type result = {
+  n : int;
+  gates : int;
+  final : final_state;
+  converted_at : int option;  (** gate index after which conversion ran *)
+  seconds_total : float;
+  seconds_dd : float;
+  seconds_convert : float;
+  seconds_dmav : float;
+  conversion_stats : Convert.stats option;
+  trace : gate_record list;   (** empty unless [config.trace] *)
+  peak_memory_bytes : int;
+  dmav_gates_cached : int;
+  dmav_gates_uncached : int;
+  dmav_cache_hits : int;
+  modeled_macs : float;       (** Σ modeled MAC work over the DMAV phase *)
+  fusion_stats : Fusion.stats option;
+}
+
+val simulate : ?pool:Pool.t -> Config.t -> Circuit.t -> result
+(** Runs the circuit from |0…0⟩. When [pool] is omitted a pool of
+    [config.threads] workers is created for the call; a supplied pool
+    overrides [config.threads] and is left running. *)
+
+val amplitudes : result -> Buf.t
+(** Final amplitudes as a flat vector (converts sequentially if the run
+    ended in DD form). *)
+
+val memory_bytes_flat : int -> buffers:int -> int
+(** Modeled bytes of the DMAV phase for an [n]-qubit run: V, W and the
+    partial-output buffers. Exposed for the memory experiments. *)

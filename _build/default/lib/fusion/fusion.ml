@@ -1,0 +1,81 @@
+type stats = {
+  gates_in : int;
+  gates_out : int;
+  ddmm_calls : int;
+  macs_before : float;
+  macs_after : float;
+}
+
+let sum_macs gates =
+  List.fold_left (fun acc g -> acc +. Cost.mac_count g) 0.0 gates
+
+let finish ~gates_in ~ddmm_calls ~macs_before out =
+  ( out,
+    { gates_in;
+      gates_out = List.length out;
+      ddmm_calls;
+      macs_before;
+      macs_after = sum_macs out } )
+
+let dmav_aware p gates =
+  let macs_before = sum_macs gates in
+  let ddmm = ref 0 in
+  (* M_p starts as a virtual identity with zero cost: the first real gate
+     always "fuses" into it, so the identity itself is never emitted. *)
+  let out = ref [] in
+  let m_p = ref None in
+  let c_p = ref 0.0 in
+  List.iter
+    (fun m_i ->
+       let c_i = Cost.mac_count m_i in
+       match !m_p with
+       | None ->
+         m_p := Some m_i;
+         c_p := c_i
+       | Some prev ->
+         incr ddmm;
+         (* Gates apply left-to-right, so the fused operator is M_i · M_p. *)
+         let m_ip = Dd.mm p m_i prev in
+         let c_ip = Cost.mac_count m_ip in
+         if c_i +. !c_p < c_ip then begin
+           out := prev :: !out;
+           m_p := Some m_i;
+           c_p := c_i
+         end
+         else begin
+           m_p := Some m_ip;
+           c_p := c_ip
+         end)
+    gates;
+  (* The paper's Algorithm 3 leaves the final pending gate implicit; it
+     must be emitted for the product to be complete. *)
+  (match !m_p with Some m -> out := m :: !out | None -> ());
+  finish ~gates_in:(List.length gates) ~ddmm_calls:!ddmm ~macs_before
+    (List.rev !out)
+
+let k_operations p ~k gates =
+  if k < 1 then invalid_arg "Fusion.k_operations: k must be >= 1";
+  let macs_before = sum_macs gates in
+  let ddmm = ref 0 in
+  let out = ref [] in
+  let pending = ref None in
+  let count = ref 0 in
+  List.iter
+    (fun m_i ->
+       (match !pending with
+        | None ->
+          pending := Some m_i;
+          count := 1
+        | Some prev ->
+          incr ddmm;
+          pending := Some (Dd.mm p m_i prev);
+          count := !count + 1);
+       if !count = k then begin
+         (match !pending with Some m -> out := m :: !out | None -> ());
+         pending := None;
+         count := 0
+       end)
+    gates;
+  (match !pending with Some m -> out := m :: !out | None -> ());
+  finish ~gates_in:(List.length gates) ~ddmm_calls:!ddmm ~macs_before
+    (List.rev !out)

@@ -1,0 +1,28 @@
+(** Gate fusion for the DMAV phase (paper §3.3).
+
+    Both strategies take the gate matrices remaining after FlatDD's
+    DD→array conversion and return a shorter list of (possibly fused)
+    matrices whose product, applied in list order, equals the product of
+    the input gates applied in list order.
+
+    {!dmav_aware} is Algorithm 3: a greedy scan that fuses the incoming
+    gate into the pending one (via DD matrix-matrix multiplication, DDMM)
+    exactly when the fused gate's modeled DMAV cost is not more than the
+    two gates' costs applied sequentially. The DDMM itself is ignored by
+    the model, as in the paper: it builds DD nodes, never 2ⁿ-sized data.
+
+    {!k_operations} is the fixed-grouping baseline of Zulehner & Wille
+    (DATE'19): every run of [k] consecutive gates is multiplied into one
+    matrix, regardless of cost. *)
+
+type stats = {
+  gates_in : int;
+  gates_out : int;
+  ddmm_calls : int;
+  macs_before : float;  (** Σ MAC counts of the input gates *)
+  macs_after : float;   (** Σ MAC counts of the output gates *)
+}
+
+val dmav_aware : Dd.package -> Dd.medge list -> Dd.medge list * stats
+
+val k_operations : Dd.package -> k:int -> Dd.medge list -> Dd.medge list * stats

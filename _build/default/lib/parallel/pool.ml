@@ -1,0 +1,133 @@
+type job = (int -> unit) option
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  cond_job : Condition.t;       (* signalled when a new job (or shutdown) is posted *)
+  cond_done : Condition.t;      (* signalled when a worker finishes its share *)
+  mutable job : job;
+  mutable generation : int;     (* job sequence number; workers run each generation once *)
+  mutable pending : int;        (* workers still running the current job *)
+  mutable stop : bool;
+  mutable failure : exn option; (* first exception raised by any worker *)
+  mutable domains : unit Domain.t list;
+}
+
+(* Worker loop: wait for a fresh generation, run the job with this worker's
+   index, report completion. The invariant is that [job]/[generation] are
+   only written while [pending = 0], so a worker never observes a torn
+   job/generation pair. *)
+let worker_loop t w my_gen =
+  let my_gen = ref my_gen in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !my_gen do
+      Condition.wait t.cond_job t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      my_gen := t.generation;
+      let f = match t.job with Some f -> f | None -> fun _ -> () in
+      Mutex.unlock t.mutex;
+      let result = try Ok (f w) with e -> Error e in
+      Mutex.lock t.mutex;
+      (match result with
+       | Ok () -> ()
+       | Error e -> if t.failure = None then t.failure <- Some e);
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.cond_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    { size;
+      mutex = Mutex.create ();
+      cond_job = Condition.create ();
+      cond_done = Condition.create ();
+      job = None;
+      generation = 0;
+      pending = 0;
+      stop = false;
+      failure = None;
+      domains = [] }
+  in
+  let spawn w = Domain.spawn (fun () -> worker_loop t w 0) in
+  t.domains <- List.init (size - 1) (fun i -> spawn (i + 1));
+  t
+
+let size t = t.size
+
+let run t f =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some f;
+    t.failure <- None;
+    t.pending <- t.size - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cond_job;
+    Mutex.unlock t.mutex;
+    let caller_result = try Ok (f 0) with e -> Error e in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.cond_done t.mutex
+    done;
+    t.job <- None;
+    let failure = t.failure in
+    Mutex.unlock t.mutex;
+    match caller_result, failure with
+    | Error e, _ -> raise e
+    | Ok (), Some e -> raise e
+    | Ok (), None -> ()
+  end
+
+let default_chunk t ~lo ~hi =
+  let span = hi - lo in
+  let target = t.size * 8 in
+  Int.max 1 ((span + target - 1) / target)
+
+let parallel_for_ranges ?chunk t ~lo ~hi f =
+  if hi > lo then begin
+    let chunk = match chunk with Some c -> Int.max 1 c | None -> default_chunk t ~lo ~hi in
+    if t.size = 1 || hi - lo <= chunk then f lo hi
+    else begin
+      let cursor = Atomic.make lo in
+      let work _w =
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= hi then continue := false
+          else f start (Int.min hi (start + chunk))
+        done
+      in
+      run t work
+    end
+  end
+
+let parallel_for ?chunk t ~lo ~hi f =
+  parallel_for_ranges ?chunk t ~lo ~hi (fun a b ->
+      for i = a to b - 1 do
+        f i
+      done)
+
+let shutdown t =
+  if not t.stop then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.cond_job;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

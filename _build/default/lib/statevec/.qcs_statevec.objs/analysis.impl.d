@@ -1,0 +1,1 @@
+lib/statevec/analysis.ml: Array Bits Cnum Float Fun List State

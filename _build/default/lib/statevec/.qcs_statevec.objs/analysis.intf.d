@@ -1,0 +1,1 @@
+lib/statevec/analysis.mli: Cnum State

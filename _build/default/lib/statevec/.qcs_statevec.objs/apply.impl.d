@@ -1,0 +1,1 @@
+lib/statevec/apply.ml: Array Bits Buf Circuit Cnum Gate Int List Pool State Timer

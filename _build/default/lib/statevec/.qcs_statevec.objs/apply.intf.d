@@ -1,0 +1,1 @@
+lib/statevec/apply.mli: Circuit Gate Pool State

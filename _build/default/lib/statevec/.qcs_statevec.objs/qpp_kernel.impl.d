@@ -1,0 +1,1 @@
+lib/statevec/qpp_kernel.ml: Array Buf Circuit Cnum Gate List Pool State Timer

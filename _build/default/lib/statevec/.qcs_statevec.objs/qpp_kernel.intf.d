@@ -1,0 +1,1 @@
+lib/statevec/qpp_kernel.mli: Circuit Gate Pool State

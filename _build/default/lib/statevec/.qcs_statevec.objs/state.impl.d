@@ -1,0 +1,1 @@
+lib/statevec/state.ml: Array Bits Buf Cnum Gate Hashtbl List Option Rng

@@ -1,0 +1,1 @@
+lib/statevec/state.mli: Buf Cnum Rng

@@ -1,0 +1,131 @@
+let max_kept = 12
+
+let reduced_density_matrix (st : State.t) qs =
+  let n = st.State.n in
+  let k = List.length qs in
+  if k = 0 || k > max_kept then invalid_arg "Analysis.reduced_density_matrix: 1..12 qubits";
+  List.iter
+    (fun q -> if q < 0 || q >= n then invalid_arg "Analysis.reduced_density_matrix: bad qubit")
+    qs;
+  if List.length (List.sort_uniq compare qs) <> k then
+    invalid_arg "Analysis.reduced_density_matrix: duplicate qubit";
+  let kept = Array.of_list qs in
+  let env =
+    List.filter (fun q -> not (List.mem q qs)) (List.init n Fun.id)
+    |> Array.of_list
+  in
+  let dk = 1 lsl k and de = 1 lsl Array.length env in
+  (* Full basis index from (kept bits, environment bits). *)
+  let compose r e =
+    let idx = ref 0 in
+    Array.iteri (fun bit q -> if Bits.bit r bit = 1 then idx := Bits.set_bit !idx q) kept;
+    Array.iteri (fun bit q -> if Bits.bit e bit = 1 then idx := Bits.set_bit !idx q) env;
+    !idx
+  in
+  let rho = Array.init dk (fun _ -> Array.make dk Cnum.zero) in
+  let amps = Array.make dk Cnum.zero in
+  for e = 0 to de - 1 do
+    for r = 0 to dk - 1 do
+      amps.(r) <- State.amplitude st (compose r e)
+    done;
+    (* ρ += |a⟩⟨a| for this environment slice. *)
+    for r = 0 to dk - 1 do
+      for c = 0 to dk - 1 do
+        rho.(r).(c) <- Cnum.add rho.(r).(c) (Cnum.mul amps.(r) (Cnum.conj amps.(c)))
+      done
+    done
+  done;
+  rho
+
+let purity rho =
+  (* Tr ρ² = Σ_rc |ρ_rc|² for Hermitian ρ. *)
+  let d = Array.length rho in
+  let acc = ref 0.0 in
+  for r = 0 to d - 1 do
+    for c = 0 to d - 1 do
+      acc := !acc +. Cnum.norm2 rho.(r).(c)
+    done
+  done;
+  !acc
+
+(* Eigenvalues of a complex Hermitian matrix by cyclic Jacobi rotations:
+   each sweep annihilates every off-diagonal entry in turn with a unitary
+   2×2 rotation; off-diagonal mass decreases monotonically and the
+   diagonal converges to the spectrum. Sizes here are ≤ 2^12 in principle
+   but ≤ 2^6 in every caller, where Jacobi is robust and plenty fast. *)
+let hermitian_eigenvalues (a : Cnum.t array array) =
+  let d = Array.length a in
+  let m = Array.map Array.copy a in
+  let off () =
+    let acc = ref 0.0 in
+    for p = 0 to d - 1 do
+      for q = p + 1 to d - 1 do
+        acc := !acc +. Cnum.norm2 m.(p).(q)
+      done
+    done;
+    !acc
+  in
+  let rotate p q =
+    let apq = m.(p).(q) in
+    let mag = Cnum.norm apq in
+    if mag > 1e-14 then begin
+      let phi = Cnum.arg apq in
+      let app = m.(p).(p).Cnum.re and aqq = m.(q).(q).Cnum.re in
+      (* Annihilation condition for (G† M G)_pq with this G:
+         |a|·(c² - s²) + (aqq - app)·c·s = 0, i.e. tan 2θ = 2|a|/(app - aqq),
+         hence the standard Jacobi t with τ = (app - aqq)/(2|a|). *)
+      let tau = (app -. aqq) /. (2.0 *. mag) in
+      let t =
+        let s = if tau >= 0.0 then 1.0 else -1.0 in
+        s /. (Float.abs tau +. sqrt (1.0 +. (tau *. tau)))
+      in
+      let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+      let s = t *. c in
+      (* G has columns p,q: G_pp = c, G_qp = s·e^{-iφ}, G_pq = -s·e^{iφ},
+         G_qq = c. Update M <- G† M G. *)
+      let gpq = Cnum.polar (-.s) phi in
+      let gqp = Cnum.polar s (-.phi) in
+      let gc = Cnum.of_float c in
+      (* Columns. *)
+      for r = 0 to d - 1 do
+        let mrp = m.(r).(p) and mrq = m.(r).(q) in
+        m.(r).(p) <- Cnum.add (Cnum.mul mrp gc) (Cnum.mul mrq gqp);
+        m.(r).(q) <- Cnum.add (Cnum.mul mrp gpq) (Cnum.mul mrq gc)
+      done;
+      (* Rows (G† on the left = conjugate-transposed coefficients). *)
+      for cidx = 0 to d - 1 do
+        let mpc = m.(p).(cidx) and mqc = m.(q).(cidx) in
+        m.(p).(cidx) <- Cnum.add (Cnum.mul (Cnum.conj gc) mpc) (Cnum.mul (Cnum.conj gqp) mqc);
+        m.(q).(cidx) <- Cnum.add (Cnum.mul (Cnum.conj gpq) mpc) (Cnum.mul (Cnum.conj gc) mqc)
+      done
+    end
+  in
+  let sweeps = ref 0 in
+  while off () > 1e-22 && !sweeps < 100 do
+    for p = 0 to d - 1 do
+      for q = p + 1 to d - 1 do
+        rotate p q
+      done
+    done;
+    incr sweeps
+  done;
+  let eig = Array.init d (fun i -> m.(i).(i).Cnum.re) in
+  Array.sort (fun x y -> compare y x) eig;
+  eig
+
+let entanglement_entropy st qs =
+  let rho = reduced_density_matrix st qs in
+  let eig = hermitian_eigenvalues rho in
+  Array.fold_left
+    (fun acc l -> if l > 1e-12 then acc -. (l *. (log l /. log 2.0)) else acc)
+    0.0 eig
+
+let schmidt_coefficients st k =
+  if k < 1 || k >= st.State.n then invalid_arg "Analysis.schmidt_coefficients";
+  let rho = reduced_density_matrix st (List.init k Fun.id) in
+  hermitian_eigenvalues rho
+
+let pauli_expectations st q =
+  ( State.expectation_pauli st [ (1.0, [ (q, State.X) ]) ],
+    State.expectation_pauli st [ (1.0, [ (q, State.Y) ]) ],
+    State.expectation_z st q )

@@ -1,0 +1,35 @@
+(** State analysis: reduced density matrices and entanglement measures.
+
+    These quantify the regular→irregular transition FlatDD's conversion
+    policy reacts to: a state's DD is small exactly when bipartite
+    entanglement across the qubit hierarchy is low, so entanglement
+    entropy growth during a circuit mirrors the DD-size growth the EWMA
+    monitor watches (see examples/entanglement_tracking.ml). *)
+
+val reduced_density_matrix : State.t -> int list -> Cnum.t array array
+(** [reduced_density_matrix st qs] traces out every qubit not in [qs] and
+    returns the 2^|qs| × 2^|qs| density matrix of the kept qubits, indexed
+    by the bits of [qs] in the order given (first = least significant).
+    |qs| is limited to 12 qubits.
+    @raise Invalid_argument on duplicates or out-of-range qubits. *)
+
+val purity : Cnum.t array array -> float
+(** Tr ρ² — 1 for pure reduced states, 1/d for maximally mixed. *)
+
+val entanglement_entropy : State.t -> int list -> float
+(** Von Neumann entropy S(ρ_A) = -Tr ρ_A log₂ ρ_A of the reduced state of
+    the given qubits — the entanglement between them and the rest. 0 for
+    product states, |qs| bits for maximal entanglement. *)
+
+val schmidt_coefficients : State.t -> int -> float array
+(** Squared Schmidt coefficients (eigenvalues of ρ_A) for the bipartition
+    A = qubits [0..k-1] vs the rest, sorted decreasing. Their count with
+    magnitude above tolerance is the Schmidt rank — a lower bound on the
+    state DD's width at that level. *)
+
+val pauli_expectations : State.t -> int -> float * float * float
+(** (⟨X⟩, ⟨Y⟩, ⟨Z⟩) of one qubit — its Bloch vector. *)
+
+val hermitian_eigenvalues : Cnum.t array array -> float array
+(** Eigenvalues of a complex Hermitian matrix (cyclic Jacobi), sorted
+    decreasing. Exposed for density-matrix post-processing. *)

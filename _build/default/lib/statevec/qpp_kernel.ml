@@ -1,0 +1,108 @@
+(* Index decomposition the way Quantum++'s internal idx2multiidx does it:
+   repeated division by the subsystem dimensions, one step per qubit, then
+   recomposition by multiplication. Deliberately not replaced by shifts —
+   the O(n) arithmetic per amplitude is the baseline behaviour being
+   reproduced. *)
+
+let decompose ~n i (digits : int array) =
+  let rest = ref i in
+  for k = n - 1 downto 0 do
+    let d = 1 lsl k in
+    digits.(k) <- !rest / d;
+    rest := !rest mod d
+  done
+
+let compose ~n (digits : int array) =
+  let idx = ref 0 in
+  for k = 0 to n - 1 do
+    idx := !idx + (digits.(k) * (1 lsl k))
+  done;
+  !idx
+
+let single ?pool st (m : Gate.single) ~target ~controls =
+  let n = st.State.n in
+  if target < 0 || target >= n then invalid_arg "Qpp_kernel.single: bad target";
+  let amps = st.State.amps in
+  let dim = 1 lsl n in
+  let m00 = m.(0).(0) and m01 = m.(0).(1) and m10 = m.(1).(0) and m11 = m.(1).(1) in
+  let body lo hi =
+    let digits = Array.make n 0 in
+    for i = lo to hi - 1 do
+      decompose ~n i digits;
+      if digits.(target) = 0
+         && List.for_all (fun c -> digits.(c) = 1) controls
+      then begin
+        let i0 = compose ~n digits in
+        digits.(target) <- 1;
+        let i1 = compose ~n digits in
+        digits.(target) <- 0;
+        let a0 = Buf.get amps i0 and a1 = Buf.get amps i1 in
+        Buf.set amps i0 (Cnum.add (Cnum.mul m00 a0) (Cnum.mul m01 a1));
+        Buf.set amps i1 (Cnum.add (Cnum.mul m10 a0) (Cnum.mul m11 a1))
+      end
+    done
+  in
+  match pool with
+  | Some p when Pool.size p > 1 && dim >= 1 lsl 12 ->
+    Pool.parallel_for_ranges p ~lo:0 ~hi:dim body
+  | _ -> body 0 dim
+
+let two ?pool st (m : Gate.two) ~q_hi ~q_lo =
+  let n = st.State.n in
+  if q_hi = q_lo || q_hi < 0 || q_lo < 0 || q_hi >= n || q_lo >= n then
+    invalid_arg "Qpp_kernel.two: bad qubits";
+  let amps = st.State.amps in
+  let dim = 1 lsl n in
+  let body lo hi =
+    let digits = Array.make n 0 in
+    let idx = Array.make 4 0 in
+    let a = Array.make 4 Cnum.zero in
+    for i = lo to hi - 1 do
+      decompose ~n i digits;
+      if digits.(q_hi) = 0 && digits.(q_lo) = 0 then begin
+        for bh = 0 to 1 do
+          for bl = 0 to 1 do
+            digits.(q_hi) <- bh;
+            digits.(q_lo) <- bl;
+            idx.((2 * bh) + bl) <- compose ~n digits
+          done
+        done;
+        digits.(q_hi) <- 0;
+        digits.(q_lo) <- 0;
+        for r = 0 to 3 do
+          a.(r) <- Buf.get amps idx.(r)
+        done;
+        for r = 0 to 3 do
+          let acc = ref Cnum.zero in
+          for c = 0 to 3 do
+            acc := Cnum.add !acc (Cnum.mul m.(r).(c) a.(c))
+          done;
+          Buf.set amps idx.(r) !acc
+        done
+      end
+    done
+  in
+  match pool with
+  | Some p when Pool.size p > 1 && dim >= 1 lsl 12 ->
+    Pool.parallel_for_ranges p ~lo:0 ~hi:dim body
+  | _ -> body 0 dim
+
+let op ?pool st (o : Circuit.op) =
+  match o with
+  | Circuit.Single { matrix; target; controls; _ } -> single ?pool st matrix ~target ~controls
+  | Circuit.Two { matrix; q_hi; q_lo; _ } -> two ?pool st matrix ~q_hi ~q_lo
+
+let run ?pool (c : Circuit.t) =
+  let st = State.zero_state c.Circuit.n in
+  Array.iter (op ?pool st) c.Circuit.ops;
+  st
+
+let run_traced ?pool (c : Circuit.t) =
+  let st = State.zero_state c.Circuit.n in
+  let times = Array.make (Circuit.num_gates c) 0.0 in
+  Array.iteri
+    (fun i o ->
+       let (), dt = Timer.time (fun () -> op ?pool st o) in
+       times.(i) <- dt)
+    c.Circuit.ops;
+  (st, times)

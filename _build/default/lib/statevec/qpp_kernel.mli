@@ -1,0 +1,25 @@
+(** Quantum++-faithful gate application — the array {e baseline} of the
+    paper's comparisons.
+
+    Quantum++ applies gates generically over arbitrary subsystems: every
+    amplitude index is decomposed into a multi-index (one digit per
+    subsystem) with a division/modulo per qubit and recomposed with a
+    multiplication per qubit, i.e. O(n) integer work per amplitude — this
+    is the indexing cost §3.2.1 contrasts with DMAV's amortized-O(1)
+    recursion. {!Apply} in this library is a bit-twiddling kernel that is
+    much faster than the real Quantum++; this module reproduces the real
+    baseline's cost profile and is what the benchmark harness runs under
+    the "Quantum++" label. Results are identical to {!Apply} up to
+    floating-point rounding. *)
+
+val single :
+  ?pool:Pool.t -> State.t -> Gate.single -> target:int -> controls:int list -> unit
+
+val two : ?pool:Pool.t -> State.t -> Gate.two -> q_hi:int -> q_lo:int -> unit
+
+val op : ?pool:Pool.t -> State.t -> Circuit.op -> unit
+
+val run : ?pool:Pool.t -> Circuit.t -> State.t
+(** Simulates from |0…0⟩ with the generic kernels. *)
+
+val run_traced : ?pool:Pool.t -> Circuit.t -> State.t * float array

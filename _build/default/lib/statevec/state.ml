@@ -1,0 +1,147 @@
+type t = { n : int; amps : Buf.t }
+
+let zero_state n =
+  let amps = Buf.create (1 lsl n) in
+  Buf.set amps 0 Cnum.one;
+  { n; amps }
+
+let basis_state n i =
+  if i < 0 || i >= 1 lsl n then invalid_arg "State.basis_state";
+  let amps = Buf.create (1 lsl n) in
+  Buf.set amps i Cnum.one;
+  { n; amps }
+
+let of_buf n amps =
+  if Buf.length amps <> 1 lsl n then invalid_arg "State.of_buf: wrong length";
+  { n; amps }
+
+let copy t = { t with amps = Buf.copy t.amps }
+let dim t = 1 lsl t.n
+let amplitude t i = Buf.get t.amps i
+let probability t i = Cnum.norm2 (Buf.get t.amps i)
+let norm2 t = Buf.norm2 t.amps
+
+let renormalize t =
+  let s = sqrt (norm2 t) in
+  if s > 0.0 then begin
+    let inv = Cnum.of_float (1.0 /. s) in
+    Buf.scale_into ~src:t.amps ~src_pos:0 ~dst:t.amps ~dst_pos:0
+      ~len:(Buf.length t.amps) inv
+  end
+
+let probabilities t = Array.init (dim t) (probability t)
+
+let most_likely t =
+  let best = ref 0 and best_p = ref (probability t 0) in
+  for i = 1 to dim t - 1 do
+    let p = probability t i in
+    if p > !best_p then begin
+      best := i;
+      best_p := p
+    end
+  done;
+  (!best, !best_p)
+
+let measure_qubit ?rng t q =
+  let rng = match rng with Some r -> r | None -> Rng.create 42 in
+  if q < 0 || q >= t.n then invalid_arg "State.measure_qubit";
+  let p1 = ref 0.0 in
+  for i = 0 to dim t - 1 do
+    if Bits.bit i q = 1 then p1 := !p1 +. probability t i
+  done;
+  let outcome = if Rng.float rng 1.0 < !p1 then 1 else 0 in
+  for i = 0 to dim t - 1 do
+    if Bits.bit i q <> outcome then Buf.set t.amps i Cnum.zero
+  done;
+  renormalize t;
+  outcome
+
+let expectation_z t q =
+  let acc = ref 0.0 in
+  for i = 0 to dim t - 1 do
+    let p = probability t i in
+    acc := !acc +. (if Bits.bit i q = 0 then p else -.p)
+  done;
+  !acc
+
+let expectation_zz t q1 q2 =
+  let acc = ref 0.0 in
+  for i = 0 to dim t - 1 do
+    let p = probability t i in
+    let sign = if Bits.bit i q1 = Bits.bit i q2 then p else -.p in
+    acc := !acc +. sign
+  done;
+  !acc
+
+type pauli = I | X | Y | Z
+
+let pauli_matrix = function
+  | I -> Gate.id2
+  | X -> Gate.x
+  | Y -> Gate.y
+  | Z -> Gate.z
+
+(* <psi|P|psi> for one Pauli string: apply P to a copy then take the inner
+   product. The apply is a plain sequential single-qubit pass; observables
+   are evaluated rarely (examples/tests), not in hot loops. *)
+let expectation_string t factors =
+  let phi = copy t in
+  List.iter
+    (fun (q, p) ->
+       match p with
+       | I -> ()
+       | p ->
+         let m = pauli_matrix p in
+         let half = dim t / 2 in
+         for k = 0 to half - 1 do
+           let i0 = Bits.insert_bit k q 0 in
+           let i1 = Bits.set_bit i0 q in
+           let a0 = Buf.get phi.amps i0 and a1 = Buf.get phi.amps i1 in
+           Buf.set phi.amps i0 (Cnum.add (Cnum.mul m.(0).(0) a0) (Cnum.mul m.(0).(1) a1));
+           Buf.set phi.amps i1 (Cnum.add (Cnum.mul m.(1).(0) a0) (Cnum.mul m.(1).(1) a1))
+         done)
+    factors;
+  (* Re <psi|phi> — expectation of a Hermitian operator is real. *)
+  let re = ref 0.0 in
+  for i = 0 to dim t - 1 do
+    let a = Buf.get t.amps i and b = Buf.get phi.amps i in
+    re := !re +. ((a.Cnum.re *. b.Cnum.re) +. (a.Cnum.im *. b.Cnum.im))
+  done;
+  !re
+
+let expectation_pauli t terms =
+  List.fold_left (fun acc (c, factors) -> acc +. (c *. expectation_string t factors)) 0.0 terms
+
+module Sampler = struct
+  type state = t
+  type nonrec t = { cum : float array; total : float }
+
+  let create st =
+    let d = dim st in
+    let cum = Array.make d 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to d - 1 do
+      acc := !acc +. probability st i;
+      cum.(i) <- !acc
+    done;
+    { cum; total = !acc }
+
+  let sample t rng =
+    let u = Rng.float rng t.total in
+    (* Binary search for the first index with cum >= u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cum.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let counts t rng ~shots =
+    let tbl = Hashtbl.create 64 in
+    for _ = 1 to shots do
+      let i = sample t rng in
+      Hashtbl.replace tbl i (1 + Option.value (Hashtbl.find_opt tbl i) ~default:0)
+    done;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+end

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation.
+
+    All benchmark circuits are generated from explicit seeds so that every
+    run — tests, examples, benchmarks — sees the same circuits. The
+    generator is xoshiro256**, seeded through splitmix64, the combination
+    recommended by the xoshiro authors. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val next : t -> int64
+(** Raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound > 0] required. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val angle : t -> float
+(** Uniform rotation angle in [\[0, 2π)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a generator with a decorrelated
+    stream; used to hand independent streams to parallel workers. *)

@@ -1,0 +1,21 @@
+(** Wall-clock timing for the experiment harness. *)
+
+val now_ns : unit -> int64
+(** Wall-clock reading in nanoseconds (gettimeofday-based — see timer.ml
+    for why that is the right tradeoff here). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+val time_ns : (unit -> 'a) -> 'a * int64
+(** Same, in nanoseconds. *)
+
+type stopwatch
+(** Accumulating stopwatch, used to attribute total runtime to phases
+    (DD phase, conversion, DMAV phase). *)
+
+val stopwatch : unit -> stopwatch
+val start : stopwatch -> unit
+val stop : stopwatch -> unit
+val elapsed_s : stopwatch -> float
+val reset : stopwatch -> unit

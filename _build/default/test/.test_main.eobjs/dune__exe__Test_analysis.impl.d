@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Apply Array Circuit Cnum Dnn Float Gate Ghz List Noise Printf State Supremacy Test_util

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Hashtbl List QCheck QCheck_alcotest

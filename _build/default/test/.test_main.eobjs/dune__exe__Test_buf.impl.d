@@ -1,0 +1,1 @@
+test/test_buf.ml: Alcotest Array Buf Cnum QCheck QCheck_alcotest

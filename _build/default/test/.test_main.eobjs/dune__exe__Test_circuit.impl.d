@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Apply Array Bits Buf Circuit Float Format Gate Ghz State String

@@ -1,0 +1,1 @@
+test/test_cnum.ml: Alcotest Cnum Float QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_convert.ml: Adder Alcotest Apply Buf Circuit Cnum Convert Dd Ddsim Dnn Float Ghz Grover List Pool Printf QCheck QCheck_alcotest Qft Rng State Supremacy Swaptest Test_util Vec_dd Vqe

@@ -1,0 +1,1 @@
+test/test_cross_engine.ml: Alcotest Apply Buf Circuit Config Ddsim List Pool Printf QCheck QCheck_alcotest Qpp_kernel Simulator State Suite Test_util

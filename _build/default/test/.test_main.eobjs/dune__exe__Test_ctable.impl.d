@@ -1,0 +1,1 @@
+test/test_ctable.ml: Alcotest Cnum Ctable Float QCheck QCheck_alcotest Rng

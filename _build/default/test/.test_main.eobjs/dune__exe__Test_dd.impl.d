@@ -1,0 +1,1 @@
+test/test_dd.ml: Alcotest Apply Array Buf Circuit Cnum Dd Ddsim Float Gate List Mat_dd Printf QCheck QCheck_alcotest State String Test_util Vec_dd

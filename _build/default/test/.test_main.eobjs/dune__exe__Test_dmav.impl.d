@@ -1,0 +1,1 @@
+test/test_dmav.ml: Alcotest Apply Array Buf Circuit Cnum Cost Dd Dmav Float Gate List Mat_dd Pool Printf State Test_util

@@ -1,0 +1,1 @@
+test/test_ewma.ml: Alcotest Ewma Option Printf

@@ -1,0 +1,1 @@
+test/test_flatdd.ml: Adder Alcotest Apply Atomic Buf Bv Circuit Cnum Config Dnn Fusion Ghz Grover List Pool Printf QCheck QCheck_alcotest Qft Simulator State Supremacy Swaptest Test_util Vqe

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Array Buf Circuit Cnum Dd Dmav Dnn Fusion Gate List Mat_dd Pool Printf Test_util

@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Array Cnum Float Format Gate List QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_generators.ml: Adder Alcotest Apply Array Bits Buf Bv Circuit Cnum Dnn Float Ghz Grover List Qft State Suite Supremacy Swaptest Vqe

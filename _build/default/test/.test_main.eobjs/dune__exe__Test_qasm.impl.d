@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Apply Array Buf Circuit Cnum Dd Float Gate Ghz Mat_dd Qasm Qft State String

@@ -1,0 +1,1 @@
+test/test_statevec.ml: Alcotest Apply Buf Cnum Float Gate Ghz List Pool Printf QCheck QCheck_alcotest Qpp_kernel Rng State Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Apply Buf Circuit Printf Rng State

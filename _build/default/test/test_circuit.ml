@@ -1,0 +1,115 @@
+let test_builder_basic () =
+  let b = Circuit.Builder.create ~name:"t" 3 in
+  Circuit.Builder.h b 0;
+  Circuit.Builder.cx b ~control:0 ~target:1;
+  Circuit.Builder.ccx b ~c1:0 ~c2:1 ~target:2;
+  let c = Circuit.Builder.finish b in
+  Alcotest.(check int) "gate count" 3 (Circuit.num_gates c);
+  Alcotest.(check int) "qubits" 3 c.Circuit.n;
+  Alcotest.(check string) "name" "t" c.Circuit.name;
+  (match c.Circuit.ops.(1) with
+   | Circuit.Single { controls = [ 0 ]; target = 1; _ } -> ()
+   | _ -> Alcotest.fail "cx shape");
+  Alcotest.(check (list int)) "op_qubits" [ 2; 0; 1 ] (Circuit.op_qubits c.Circuit.ops.(2))
+
+let test_builder_order_preserved () =
+  let b = Circuit.Builder.create 2 in
+  Circuit.Builder.x b 0;
+  Circuit.Builder.y b 1;
+  Circuit.Builder.z b 0;
+  let c = Circuit.Builder.finish b in
+  Alcotest.(check (list string)) "order"
+    [ "x"; "y"; "z" ]
+    (Array.to_list (Array.map Circuit.op_name c.Circuit.ops))
+
+let test_validation () =
+  let b = Circuit.Builder.create 2 in
+  Alcotest.(check bool) "out of range target" true
+    (try Circuit.Builder.h b 2; false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "control = target" true
+    (try Circuit.Builder.cx b ~control:1 ~target:1; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative qubit" true
+    (try Circuit.Builder.x b (-1); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "repeated controls" true
+    (try Circuit.Builder.ccx b ~c1:0 ~c2:0 ~target:1; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "two-qubit same wire" true
+    (try Circuit.Builder.iswap b 1 1; false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "make validates too" true
+    (try
+       ignore (Circuit.make 1
+                 [ Circuit.Single { name = "x"; matrix = Gate.x; target = 3; controls = [] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_append () =
+  let a = Circuit.make 2 [ Circuit.Single { name = "h"; matrix = Gate.h; target = 0; controls = [] } ] in
+  let b = Circuit.make 2 [ Circuit.Single { name = "x"; matrix = Gate.x; target = 1; controls = [] } ] in
+  let c = Circuit.append a b in
+  Alcotest.(check int) "combined" 2 (Circuit.num_gates c);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Circuit.append: qubit count mismatch") (fun () ->
+        ignore (Circuit.append a (Circuit.make 3 [])))
+
+(* Semantic checks: decomposed SWAP / CSWAP must equal the direct matrix. *)
+let test_swap_decomposition () =
+  let direct = State.zero_state 3 in
+  (* Prepare a non-trivial state first. *)
+  let prep = Circuit.make 3
+      [ Circuit.Single { name = "h"; matrix = Gate.h; target = 0; controls = [] };
+        Circuit.Single { name = "ry"; matrix = Gate.ry 0.7; target = 1; controls = [] };
+        Circuit.Single { name = "t"; matrix = Gate.t; target = 2; controls = [] };
+        Circuit.Single { name = "cx"; matrix = Gate.x; target = 2; controls = [ 0 ] } ]
+  in
+  Apply.circuit direct prep;
+  let via_two = State.copy direct in
+  Apply.two via_two Gate.swap2 ~q_hi:2 ~q_lo:0;
+  let via_decomp = State.copy direct in
+  let b = Circuit.Builder.create 3 in
+  Circuit.Builder.swap b 0 2;
+  Apply.circuit via_decomp (Circuit.Builder.finish b);
+  Alcotest.(check bool) "swap decomposition" true
+    (Buf.max_abs_diff via_two.State.amps via_decomp.State.amps < 1e-12)
+
+let test_cswap_decomposition () =
+  (* Verify Fredkin semantics on every basis state of 3 qubits:
+     control = qubit 2 swaps qubits 0 and 1. *)
+  for basis = 0 to 7 do
+    let st = State.basis_state 3 basis in
+    let b = Circuit.Builder.create 3 in
+    Circuit.Builder.cswap b ~control:2 0 1;
+    Apply.circuit st (Circuit.Builder.finish b);
+    let expected =
+      if Bits.bit basis 2 = 1 then begin
+        let b0 = Bits.bit basis 0 and b1 = Bits.bit basis 1 in
+        let e = Bits.clear_bit (Bits.clear_bit basis 0) 1 in
+        let e = if b0 = 1 then Bits.set_bit e 1 else e in
+        if b1 = 1 then Bits.set_bit e 0 else e
+      end
+      else basis
+    in
+    let p = State.probability st expected in
+    if Float.abs (p -. 1.0) > 1e-12 then
+      Alcotest.failf "cswap on |%d>: expected |%d>, p=%f" basis expected p
+  done
+
+let test_pp () =
+  let c = Ghz.circuit 3 in
+  let s = Format.asprintf "%a" Circuit.pp c in
+  Alcotest.(check bool) "lists gates" true
+    (String.length s > 10
+     && (let found = ref false in
+         String.iteri (fun i _ ->
+             if i + 2 <= String.length s && String.sub s i 2 = "cx" then found := true) s;
+         !found))
+
+let suite =
+  [ ( "circuit",
+      [ Alcotest.test_case "builder basics" `Quick test_builder_basic;
+        Alcotest.test_case "order preserved" `Quick test_builder_order_preserved;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "append" `Quick test_append;
+        Alcotest.test_case "swap decomposition" `Quick test_swap_decomposition;
+        Alcotest.test_case "cswap decomposition" `Quick test_cswap_decomposition;
+        Alcotest.test_case "pretty printer" `Quick test_pp ] ) ]

@@ -1,0 +1,100 @@
+let ceq msg a b =
+  if not (Cnum.equal ~tol:1e-12 a b) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Cnum.to_string a) (Cnum.to_string b)
+
+let test_constants () =
+  ceq "one" (Cnum.make 1.0 0.0) Cnum.one;
+  ceq "i^2 = -1" Cnum.minus_one (Cnum.mul Cnum.i Cnum.i);
+  ceq "sqrt2_inv squared" (Cnum.of_float 0.5) (Cnum.mul Cnum.sqrt2_inv Cnum.sqrt2_inv)
+
+let test_arithmetic () =
+  let a = Cnum.make 2.0 3.0 and b = Cnum.make (-1.0) 0.5 in
+  ceq "add" (Cnum.make 1.0 3.5) (Cnum.add a b);
+  ceq "sub" (Cnum.make 3.0 2.5) (Cnum.sub a b);
+  ceq "mul" (Cnum.make (-3.5) (-2.0)) (Cnum.mul a b);
+  ceq "neg" (Cnum.make (-2.0) (-3.0)) (Cnum.neg a);
+  ceq "conj" (Cnum.make 2.0 (-3.0)) (Cnum.conj a);
+  ceq "scale" (Cnum.make 4.0 6.0) (Cnum.scale 2.0 a)
+
+let test_div () =
+  let a = Cnum.make 3.0 4.0 in
+  ceq "self-division" Cnum.one (Cnum.div a a);
+  ceq "div by one" a (Cnum.div a Cnum.one);
+  ceq "div by i" (Cnum.make 4.0 (-3.0)) (Cnum.div a Cnum.i)
+
+let test_polar () =
+  ceq "polar 0" Cnum.one (Cnum.polar 1.0 0.0);
+  ceq "polar pi/2" Cnum.i (Cnum.polar 1.0 (Float.pi /. 2.0));
+  ceq "polar pi" Cnum.minus_one (Cnum.polar 1.0 Float.pi);
+  Alcotest.(check (float 1e-12)) "norm of polar" 2.5 (Cnum.norm (Cnum.polar 2.5 1.234));
+  Alcotest.(check (float 1e-12)) "arg of polar" 1.234 (Cnum.arg (Cnum.polar 2.5 1.234))
+
+let test_norm () =
+  Alcotest.(check (float 1e-12)) "norm2" 25.0 (Cnum.norm2 (Cnum.make 3.0 4.0));
+  Alcotest.(check (float 1e-12)) "norm" 5.0 (Cnum.norm (Cnum.make 3.0 4.0))
+
+let test_predicates () =
+  Alcotest.(check bool) "zero" true (Cnum.is_zero Cnum.zero);
+  Alcotest.(check bool) "near-zero within tol" true (Cnum.is_zero (Cnum.make 1e-12 (-1e-12)));
+  Alcotest.(check bool) "not zero" false (Cnum.is_zero (Cnum.make 1e-3 0.0));
+  Alcotest.(check bool) "one" true (Cnum.is_one Cnum.one);
+  Alcotest.(check bool) "equal with tolerance" true
+    (Cnum.equal ~tol:1e-6 (Cnum.make 1.0 1.0) (Cnum.make 1.0000001 0.9999999))
+
+let cnum_gen =
+  QCheck.Gen.map2 Cnum.make
+    (QCheck.Gen.float_range (-10.0) 10.0)
+    (QCheck.Gen.float_range (-10.0) 10.0)
+
+let cnum_arb = QCheck.make ~print:Cnum.to_string cnum_gen
+
+let near a b = Cnum.norm (Cnum.sub a b) <= 1e-9 *. (1.0 +. Cnum.norm a)
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"multiplication commutes" ~count:300
+    (QCheck.pair cnum_arb cnum_arb)
+    (fun (a, b) -> near (Cnum.mul a b) (Cnum.mul b a))
+
+let prop_mul_associative =
+  QCheck.Test.make ~name:"multiplication associates" ~count:300
+    (QCheck.triple cnum_arb cnum_arb cnum_arb)
+    (fun (a, b, c) -> near (Cnum.mul (Cnum.mul a b) c) (Cnum.mul a (Cnum.mul b c)))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"multiplication distributes over addition" ~count:300
+    (QCheck.triple cnum_arb cnum_arb cnum_arb)
+    (fun (a, b, c) ->
+       near (Cnum.mul a (Cnum.add b c)) (Cnum.add (Cnum.mul a b) (Cnum.mul a c)))
+
+let prop_div_inverse =
+  QCheck.Test.make ~name:"(a·b)/b = a" ~count:300 (QCheck.pair cnum_arb cnum_arb)
+    (fun (a, b) ->
+       QCheck.assume (Cnum.norm b > 0.01);
+       near a (Cnum.div (Cnum.mul a b) b))
+
+let prop_norm_multiplicative =
+  QCheck.Test.make ~name:"|a·b| = |a|·|b|" ~count:300 (QCheck.pair cnum_arb cnum_arb)
+    (fun (a, b) ->
+       Float.abs (Cnum.norm (Cnum.mul a b) -. (Cnum.norm a *. Cnum.norm b))
+       <= 1e-9 *. (1.0 +. (Cnum.norm a *. Cnum.norm b)))
+
+let prop_conj_involution =
+  QCheck.Test.make ~name:"conj is an involution, |conj a| = |a|" ~count:300 cnum_arb
+    (fun a ->
+       Cnum.equal ~tol:0.0 (Cnum.conj (Cnum.conj a)) a
+       && Cnum.norm (Cnum.conj a) = Cnum.norm a)
+
+let suite =
+  [ ( "cnum",
+      [ Alcotest.test_case "constants" `Quick test_constants;
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "division" `Quick test_div;
+        Alcotest.test_case "polar form" `Quick test_polar;
+        Alcotest.test_case "norms" `Quick test_norm;
+        Alcotest.test_case "predicates" `Quick test_predicates;
+        QCheck_alcotest.to_alcotest prop_mul_commutative;
+        QCheck_alcotest.to_alcotest prop_mul_associative;
+        QCheck_alcotest.to_alcotest prop_distributive;
+        QCheck_alcotest.to_alcotest prop_div_inverse;
+        QCheck_alcotest.to_alcotest prop_norm_multiplicative;
+        QCheck_alcotest.to_alcotest prop_conj_involution ] ) ]

@@ -1,0 +1,92 @@
+let test_seeded_constants () =
+  let t = Ctable.create () in
+  Alcotest.(check int) "zero id" Ctable.zero_id (Ctable.id t Cnum.zero);
+  Alcotest.(check int) "one id" Ctable.one_id (Ctable.id t Cnum.one);
+  Alcotest.(check int) "two constants pre-seeded" 2 (Ctable.count t)
+
+let test_snapping () =
+  let t = Ctable.create () in
+  let a = Ctable.canon t (Cnum.make 0.5 0.25) in
+  let b = Ctable.canon t (Cnum.make (0.5 +. 1e-12) (0.25 -. 1e-12)) in
+  Alcotest.(check bool) "snapped to same representative" true (a == b);
+  Alcotest.(check int) "same id" (Ctable.id t a) (Ctable.id t b)
+
+let test_near_zero_snaps_to_zero () =
+  let t = Ctable.create () in
+  let z = Ctable.canon t (Cnum.make 1e-14 (-1e-14)) in
+  Alcotest.(check bool) "exact zero" true (z.Cnum.re = 0.0 && z.Cnum.im = 0.0);
+  Alcotest.(check int) "zero id" Ctable.zero_id (Ctable.id t z)
+
+let test_distinct_values_distinct_ids () =
+  let t = Ctable.create () in
+  let i1 = Ctable.id t (Cnum.make 0.1 0.0) in
+  let i2 = Ctable.id t (Cnum.make 0.2 0.0) in
+  let i3 = Ctable.id t (Cnum.make 0.1 0.1) in
+  Alcotest.(check bool) "all distinct" true (i1 <> i2 && i2 <> i3 && i1 <> i3)
+
+let test_id_stability () =
+  let t = Ctable.create () in
+  let v = Cnum.make (-0.7071) 0.7071 in
+  let id1 = Ctable.id t v in
+  for _ = 1 to 10 do
+    ignore (Ctable.id t (Cnum.make (Rng.float (Rng.create 1) 1.0) 0.0))
+  done;
+  Alcotest.(check int) "id stable across other insertions" id1 (Ctable.id t v)
+
+let test_boundary_of_tolerance () =
+  (* Values farther than ~2 grid cells apart must stay distinct. *)
+  let t = Ctable.create ~tolerance:1e-10 () in
+  let a = Ctable.id t (Cnum.make 0.5 0.0) in
+  let b = Ctable.id t (Cnum.make (0.5 +. 1e-6) 0.0) in
+  Alcotest.(check bool) "well-separated values distinct" true (a <> b)
+
+let test_clear () =
+  let t = Ctable.create () in
+  ignore (Ctable.id t (Cnum.make 0.3 0.4));
+  ignore (Ctable.id t (Cnum.make 0.6 0.8));
+  Alcotest.(check int) "count grew" 4 (Ctable.count t);
+  Ctable.clear t;
+  Alcotest.(check int) "back to constants" 2 (Ctable.count t);
+  Alcotest.(check int) "zero id preserved" Ctable.zero_id (Ctable.id t Cnum.zero);
+  Alcotest.(check int) "one id preserved" Ctable.one_id (Ctable.id t Cnum.one)
+
+let test_memory_grows () =
+  let t = Ctable.create () in
+  let m0 = Ctable.memory_bytes t in
+  for k = 1 to 100 do
+    ignore (Ctable.id t (Cnum.make (float_of_int k /. 7.0) 0.0))
+  done;
+  Alcotest.(check bool) "memory accounting grows" true (Ctable.memory_bytes t > m0)
+
+let prop_canon_idempotent =
+  QCheck.Test.make ~name:"canon is idempotent" ~count:300
+    QCheck.(pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (re, im) ->
+       let t = Ctable.create () in
+       let c = Ctable.canon t (Cnum.make re im) in
+       Ctable.canon t c == c)
+
+let prop_canon_within_tolerance =
+  QCheck.Test.make ~name:"canon moves a value by at most the tolerance" ~count:300
+    QCheck.(pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (re, im) ->
+       let t = Ctable.create () in
+       let v = Cnum.make re im in
+       let c = Ctable.canon t v in
+       Float.abs (c.Cnum.re -. re) <= Cnum.tolerance
+       && Float.abs (c.Cnum.im -. im) <= Cnum.tolerance)
+
+let suite =
+  [ ( "ctable",
+      [ Alcotest.test_case "seeded constants" `Quick test_seeded_constants;
+        Alcotest.test_case "snapping within tolerance" `Quick test_snapping;
+        Alcotest.test_case "near-zero snaps to zero" `Quick test_near_zero_snaps_to_zero;
+        Alcotest.test_case "distinct values distinct ids" `Quick
+          test_distinct_values_distinct_ids;
+        Alcotest.test_case "id stability" `Quick test_id_stability;
+        Alcotest.test_case "separated values stay distinct" `Quick
+          test_boundary_of_tolerance;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "memory accounting" `Quick test_memory_grows;
+        QCheck_alcotest.to_alcotest prop_canon_idempotent;
+        QCheck_alcotest.to_alcotest prop_canon_within_tolerance ] ) ]

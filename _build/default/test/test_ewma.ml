@@ -1,0 +1,103 @@
+let test_constant_never_converts () =
+  let m = Ewma.create ~beta:0.9 ~epsilon:2.0 in
+  for _ = 1 to 1000 do
+    if Ewma.observe m 100.0 = Ewma.Convert then Alcotest.fail "constant size converted"
+  done;
+  Alcotest.(check (float 1e-6)) "value tracks constant" 100.0 (Ewma.value m)
+
+let test_spike_converts () =
+  let m = Ewma.create ~beta:0.9 ~epsilon:2.0 in
+  for _ = 1 to 50 do
+    ignore (Ewma.observe m 100.0)
+  done;
+  (* A 10x spike blows past eps * v. *)
+  Alcotest.(check bool) "spike converts" true (Ewma.observe m 1000.0 = Ewma.Convert)
+
+let test_first_observation_initializes () =
+  (* Regression against the naive v0 = 0 reading of the paper, which would
+     convert on the very first gate. *)
+  let m = Ewma.create ~beta:0.9 ~epsilon:2.0 in
+  Alcotest.(check bool) "first observation never converts" true
+    (Ewma.observe m 5000.0 = Ewma.Stay);
+  Alcotest.(check (float 0.0)) "initialized to first size" 5000.0 (Ewma.value m)
+
+let test_slow_growth_eventually_converts () =
+  (* 30% growth per step compounds: the ratio s/v crosses the threshold. *)
+  let m = Ewma.create ~beta:0.9 ~epsilon:2.0 in
+  let converted = ref None in
+  let s = ref 10.0 in
+  for i = 1 to 60 do
+    s := !s *. 1.3;
+    if !converted = None && Ewma.observe m !s = Ewma.Convert then converted := Some i
+  done;
+  (match !converted with
+   | Some i -> Alcotest.(check bool) "within the growth phase" true (i < 60)
+   | None -> Alcotest.fail "exponential growth never triggered conversion")
+
+let test_gentle_growth_stays () =
+  (* 2% per step stays under an epsilon of 2. *)
+  let m = Ewma.create ~beta:0.9 ~epsilon:2.0 in
+  let s = ref 100.0 in
+  for _ = 1 to 200 do
+    s := !s *. 1.02;
+    if Ewma.observe m !s = Ewma.Convert then Alcotest.fail "gentle growth converted"
+  done
+
+let test_epsilon_sensitivity () =
+  (* Smaller epsilon converts earlier on the same trace. *)
+  let converge eps =
+    let m = Ewma.create ~beta:0.9 ~epsilon:eps in
+    let s = ref 10.0 in
+    let at = ref None in
+    for i = 1 to 100 do
+      s := !s *. 1.25;
+      if !at = None && Ewma.observe m !s = Ewma.Convert then at := Some i
+    done;
+    Option.value !at ~default:1000
+  in
+  let tight = converge 1.2 and loose = converge 3.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight (%d) <= loose (%d)" tight loose) true (tight <= loose)
+
+let test_beta_zero_tracks_instantaneous () =
+  (* beta = 0 means v = s, so conversion requires eps·s < s — never. *)
+  let m = Ewma.create ~beta:0.0 ~epsilon:2.0 in
+  ignore (Ewma.observe m 1.0);
+  for k = 1 to 20 do
+    if Ewma.observe m (float_of_int (k * 1000)) = Ewma.Convert then
+      Alcotest.fail "beta=0 cannot convert with eps>1"
+  done
+
+let test_validation () =
+  Alcotest.(check bool) "beta >= 1 rejected" true
+    (try ignore (Ewma.create ~beta:1.0 ~epsilon:2.0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative beta rejected" true
+    (try ignore (Ewma.create ~beta:(-0.1) ~epsilon:2.0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "epsilon 0 rejected" true
+    (try ignore (Ewma.create ~beta:0.9 ~epsilon:0.0); false
+     with Invalid_argument _ -> true)
+
+let test_recurrence_values () =
+  (* Check the recurrence v_i = beta v + (1-beta) s numerically. *)
+  let m = Ewma.create ~beta:0.5 ~epsilon:10.0 in
+  ignore (Ewma.observe m 8.0);   (* v = 8 *)
+  ignore (Ewma.observe m 4.0);   (* v = 6 *)
+  Alcotest.(check (float 1e-12)) "after two" 6.0 (Ewma.value m);
+  ignore (Ewma.observe m 2.0);   (* v = 4 *)
+  Alcotest.(check (float 1e-12)) "after three" 4.0 (Ewma.value m)
+
+let suite =
+  [ ( "ewma",
+      [ Alcotest.test_case "constant never converts" `Quick test_constant_never_converts;
+        Alcotest.test_case "spike converts" `Quick test_spike_converts;
+        Alcotest.test_case "first observation initializes" `Quick
+          test_first_observation_initializes;
+        Alcotest.test_case "exponential growth converts" `Quick
+          test_slow_growth_eventually_converts;
+        Alcotest.test_case "gentle growth stays" `Quick test_gentle_growth_stays;
+        Alcotest.test_case "epsilon sensitivity" `Quick test_epsilon_sensitivity;
+        Alcotest.test_case "beta = 0 edge case" `Quick test_beta_zero_tracks_instantaneous;
+        Alcotest.test_case "parameter validation" `Quick test_validation;
+        Alcotest.test_case "recurrence values" `Quick test_recurrence_values ] ) ]

@@ -1,0 +1,148 @@
+(* Applying the fused gate list must equal applying the original gates in
+   order. We verify through DMAV on a random vector. *)
+let apply_all pool p n mats v0 =
+  let v = ref (Buf.copy v0) in
+  let w = ref (Buf.create (1 lsl n)) in
+  List.iter
+    (fun m ->
+       ignore p;
+       Dmav.apply_nocache ~pool ~n m ~v:!v ~w:!w;
+       let tmp = !v in
+       v := !w;
+       w := tmp)
+    mats;
+  !v
+
+let circuit_mats p n c =
+  Array.to_list (Array.map (fun op -> Mat_dd.of_op p ~n op) c.Circuit.ops)
+
+let test_dmav_aware_preserves_semantics () =
+  List.iter
+    (fun seed ->
+       let n = 6 in
+       let c = Test_util.random_circuit ~seed ~gates:30 n in
+       let p = Dd.create () in
+       let mats = circuit_mats p n c in
+       let fused, stats = Fusion.dmav_aware p mats in
+       Alcotest.(check int) "gates_in" 30 stats.Fusion.gates_in;
+       Alcotest.(check int) "gates_out" (List.length fused) stats.Fusion.gates_out;
+       let v0 = Test_util.random_state ~seed:(seed * 7) n in
+       Pool.with_pool 2 (fun pool ->
+           let direct = apply_all pool p n mats v0 in
+           let via_fused = apply_all pool p n fused v0 in
+           Test_util.check_close ~tol:1e-8
+             (Printf.sprintf "fusion semantics (seed %d)" seed) direct via_fused))
+    [ 1; 2; 3 ]
+
+let test_dmav_aware_fuses_rotation_chains () =
+  (* Consecutive rotations on one qubit are the canonical win: many gates
+     must collapse into few. *)
+  let n = 8 in
+  let b = Circuit.Builder.create n in
+  for _ = 1 to 20 do
+    Circuit.Builder.rz b 0.1 3;
+    Circuit.Builder.ry b 0.2 3
+  done;
+  let c = Circuit.Builder.finish b in
+  let p = Dd.create () in
+  let fused, stats = Fusion.dmav_aware p (circuit_mats p n c) in
+  Alcotest.(check bool) "collapses heavily" true (List.length fused <= 3);
+  Alcotest.(check bool) "cost reduced" true
+    (stats.Fusion.macs_after < stats.Fusion.macs_before)
+
+let test_dmav_aware_never_increases_cost_much () =
+  (* The greedy rule only fuses when the fused cost is not larger, so the
+     summed MAC cost can never exceed the input cost. *)
+  List.iter
+    (fun seed ->
+       let n = 7 in
+       let c = Test_util.random_circuit ~seed ~gates:40 n in
+       let p = Dd.create () in
+       let _, stats = Fusion.dmav_aware p (circuit_mats p n c) in
+       Alcotest.(check bool)
+         (Printf.sprintf "macs_after <= macs_before (seed %d)" seed) true
+         (stats.Fusion.macs_after <= stats.Fusion.macs_before +. 1e-6))
+    [ 5; 6; 7 ]
+
+let test_empty_and_singleton () =
+  let p = Dd.create () in
+  let fused, stats = Fusion.dmav_aware p [] in
+  Alcotest.(check int) "empty in" 0 stats.Fusion.gates_in;
+  Alcotest.(check int) "empty out" 0 (List.length fused);
+  let m = Mat_dd.of_single p ~n:4 ~target:1 ~controls:[] Gate.h in
+  let fused, _ = Fusion.dmav_aware p [ m ] in
+  (match fused with
+   | [ only ] -> Alcotest.(check bool) "singleton passthrough" true (only == m)
+   | _ -> Alcotest.fail "expected one gate")
+
+let test_k_operations_grouping () =
+  let n = 5 in
+  let p = Dd.create () in
+  let c = Test_util.random_circuit ~seed:9 ~gates:10 n in
+  let mats = circuit_mats p n c in
+  let fused, stats = Fusion.k_operations p ~k:4 mats in
+  Alcotest.(check int) "ceil(10/4) groups" 3 (List.length fused);
+  Alcotest.(check int) "ddmm calls" 7 stats.Fusion.ddmm_calls;
+  let v0 = Test_util.random_state ~seed:10 n in
+  Pool.with_pool 2 (fun pool ->
+      let direct = apply_all pool p n mats v0 in
+      let via = apply_all pool p n fused v0 in
+      Test_util.check_close ~tol:1e-8 "k-operations semantics" direct via)
+
+let test_k_operations_k1_identity_transform () =
+  let n = 4 in
+  let p = Dd.create () in
+  let mats = circuit_mats p n (Test_util.random_circuit ~seed:11 ~gates:6 n) in
+  let fused, stats = Fusion.k_operations p ~k:1 mats in
+  Alcotest.(check int) "k=1 keeps every gate" 6 (List.length fused);
+  Alcotest.(check int) "no ddmm" 0 stats.Fusion.ddmm_calls;
+  Alcotest.(check bool) "k must be positive" true
+    (try ignore (Fusion.k_operations p ~k:0 mats); false
+     with Invalid_argument _ -> true)
+
+let test_gate_order () =
+  (* X then H on one qubit: fused must be H·X (apply X first). On |0> that
+     gives H|1> = (|0> - |1>)/sqrt2. *)
+  let n = 1 in
+  let p = Dd.create () in
+  let mx = Mat_dd.of_single p ~n ~target:0 ~controls:[] Gate.x in
+  let mh = Mat_dd.of_single p ~n ~target:0 ~controls:[] Gate.h in
+  let fused, _ = Fusion.k_operations p ~k:2 [ mx; mh ] in
+  match fused with
+  | [ m ] ->
+    let s = 1.0 /. sqrt 2.0 in
+    if not (Cnum.equal ~tol:1e-12 (Dd.mentry m 0 0) (Cnum.of_float s)) then
+      Alcotest.fail "entry (0,0)";
+    if not (Cnum.equal ~tol:1e-12 (Dd.mentry m 1 0) (Cnum.of_float (-.s))) then
+      Alcotest.fail "entry (1,0): wrong fusion order";
+    if not (Cnum.equal ~tol:1e-12 (Dd.mentry m 0 1) (Cnum.of_float s)) then
+      Alcotest.fail "entry (0,1)"
+  | _ -> Alcotest.fail "expected a single fused gate"
+
+let test_fusion_beats_kops_on_cost () =
+  (* On a deep rotation-heavy circuit the cost-aware strategy must reach
+     at most the cost of blind k-grouping (the paper's Table 2 shape). *)
+  let n = 8 in
+  let c = Dnn.circuit ~seed:5 ~layers:6 n in
+  let p = Dd.create () in
+  let mats = circuit_mats p n c in
+  let _, aware = Fusion.dmav_aware p mats in
+  let _, kops = Fusion.k_operations p ~k:4 mats in
+  Alcotest.(check bool) "aware cost <= kops cost" true
+    (aware.Fusion.macs_after <= kops.Fusion.macs_after +. 1e-6)
+
+let suite =
+  [ ( "fusion",
+      [ Alcotest.test_case "dmav-aware preserves semantics" `Quick
+          test_dmav_aware_preserves_semantics;
+        Alcotest.test_case "fuses rotation chains" `Quick
+          test_dmav_aware_fuses_rotation_chains;
+        Alcotest.test_case "never increases cost" `Quick
+          test_dmav_aware_never_increases_cost_much;
+        Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+        Alcotest.test_case "k-operations grouping" `Quick test_k_operations_grouping;
+        Alcotest.test_case "k=1 is identity transform" `Quick
+          test_k_operations_k1_identity_transform;
+        Alcotest.test_case "fusion order is right-to-left product" `Quick test_gate_order;
+        Alcotest.test_case "aware beats blind grouping on cost" `Quick
+          test_fusion_beats_kops_on_cost ] ) ]

@@ -1,0 +1,142 @@
+let rng = Rng.create 101
+
+let gate_eq msg a b =
+  if not (Gate.equal ~tol:1e-9 a b) then
+    Alcotest.failf "%s:\nexpected %s\ngot %s" msg
+      (Format.asprintf "%a" Gate.pp a) (Format.asprintf "%a" Gate.pp b)
+
+let test_constant_gates_unitary () =
+  List.iter
+    (fun (name, g) ->
+       Alcotest.(check bool) (name ^ " unitary") true (Gate.is_unitary g))
+    [ ("id", Gate.id2); ("x", Gate.x); ("y", Gate.y); ("z", Gate.z); ("h", Gate.h);
+      ("s", Gate.s); ("sdg", Gate.sdg); ("t", Gate.t); ("tdg", Gate.tdg);
+      ("sx", Gate.sx); ("sy", Gate.sy); ("sw", Gate.sw) ]
+
+let test_parametric_gates_unitary () =
+  for _ = 1 to 20 do
+    let a = Rng.angle rng and b = Rng.angle rng and c = Rng.angle rng in
+    Alcotest.(check bool) "rx unitary" true (Gate.is_unitary (Gate.rx a));
+    Alcotest.(check bool) "ry unitary" true (Gate.is_unitary (Gate.ry a));
+    Alcotest.(check bool) "rz unitary" true (Gate.is_unitary (Gate.rz a));
+    Alcotest.(check bool) "phase unitary" true (Gate.is_unitary (Gate.phase a));
+    Alcotest.(check bool) "u2 unitary" true (Gate.is_unitary (Gate.u2 a b));
+    Alcotest.(check bool) "u3 unitary" true (Gate.is_unitary (Gate.u3 a b c))
+  done
+
+let test_two_qubit_unitary () =
+  Alcotest.(check bool) "swap" true (Gate.is_unitary4 Gate.swap2);
+  Alcotest.(check bool) "iswap" true (Gate.is_unitary4 Gate.iswap);
+  Alcotest.(check bool) "cz" true (Gate.is_unitary4 Gate.cz2);
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "fsim" true
+      (Gate.is_unitary4 (Gate.fsim (Rng.angle rng) (Rng.angle rng)))
+  done
+
+let test_algebraic_identities () =
+  gate_eq "H^2 = I" Gate.id2 (Gate.mul2 Gate.h Gate.h);
+  gate_eq "X^2 = I" Gate.id2 (Gate.mul2 Gate.x Gate.x);
+  gate_eq "S = T^2" Gate.s (Gate.mul2 Gate.t Gate.t);
+  gate_eq "Z = S^2" Gate.z (Gate.mul2 Gate.s Gate.s);
+  gate_eq "sx^2 = X" Gate.x (Gate.mul2 Gate.sx Gate.sx);
+  gate_eq "sy^2 = Y" Gate.y (Gate.mul2 Gate.sy Gate.sy);
+  gate_eq "S·Sdg = I" Gate.id2 (Gate.mul2 Gate.s Gate.sdg);
+  gate_eq "T·Tdg = I" Gate.id2 (Gate.mul2 Gate.t Gate.tdg);
+  gate_eq "HZH = X" Gate.x (Gate.mul2 (Gate.mul2 Gate.h Gate.z) Gate.h);
+  gate_eq "HXH = Z" Gate.z (Gate.mul2 (Gate.mul2 Gate.h Gate.x) Gate.h)
+
+let test_sw_squares_to_w () =
+  (* W = (X + Y)/sqrt2 *)
+  let w =
+    Array.init 2 (fun i ->
+        Array.init 2 (fun j ->
+            Cnum.scale (1.0 /. sqrt 2.0) (Cnum.add Gate.x.(i).(j) Gate.y.(i).(j))))
+  in
+  gate_eq "sw^2 = W" w (Gate.mul2 Gate.sw Gate.sw)
+
+let test_rotations_compose () =
+  for _ = 1 to 10 do
+    let a = Rng.angle rng and b = Rng.angle rng in
+    gate_eq "rx(a)rx(b) = rx(a+b)" (Gate.rx (a +. b)) (Gate.mul2 (Gate.rx a) (Gate.rx b));
+    gate_eq "ry(a)ry(b) = ry(a+b)" (Gate.ry (a +. b)) (Gate.mul2 (Gate.ry a) (Gate.ry b));
+    gate_eq "rz(a)rz(b) = rz(a+b)" (Gate.rz (a +. b)) (Gate.mul2 (Gate.rz a) (Gate.rz b))
+  done
+
+let test_rotation_special_values () =
+  (* rx(pi) = -iX, ry(pi) = -iY, rz(pi) = -iZ *)
+  let scale s g = Array.map (Array.map (Cnum.mul s)) g in
+  gate_eq "rx(pi)" (scale (Cnum.make 0.0 (-1.0)) Gate.x) (Gate.rx Float.pi);
+  gate_eq "ry(pi)" (scale (Cnum.make 0.0 (-1.0)) Gate.y) (Gate.ry Float.pi);
+  gate_eq "rz(pi)" (scale (Cnum.make 0.0 (-1.0)) Gate.z) (Gate.rz Float.pi);
+  gate_eq "rx(0) = I" Gate.id2 (Gate.rx 0.0)
+
+let test_u3_specializations () =
+  (* u3(pi/2, 0, pi) = H up to the standard convention. *)
+  gate_eq "u3 Hadamard" Gate.h (Gate.u3 (Float.pi /. 2.0) 0.0 Float.pi);
+  gate_eq "u3(0,0,l) = phase(l)" (Gate.phase 0.7) (Gate.u3 0.0 0.0 0.7);
+  gate_eq "u2 = u3(pi/2)" (Gate.u2 0.3 0.4) (Gate.u3 (Float.pi /. 2.0) 0.3 0.4)
+
+let test_adjoint () =
+  gate_eq "adjoint of H is H" Gate.h (Gate.adjoint Gate.h);
+  gate_eq "adjoint of S is Sdg" Gate.sdg (Gate.adjoint Gate.s);
+  for _ = 1 to 10 do
+    let g = Gate.u3 (Rng.angle rng) (Rng.angle rng) (Rng.angle rng) in
+    gate_eq "U·U† = I" Gate.id2 (Gate.mul2 g (Gate.adjoint g))
+  done
+
+let test_fsim_specializations () =
+  (* fsim(0, 0) = identity; the iSWAP-like point is fsim(pi/2, 0) with
+     -i amplitudes on the swapped entries. *)
+  let id4 =
+    Array.init 4 (fun i -> Array.init 4 (fun j -> if i = j then Cnum.one else Cnum.zero))
+  in
+  let m = Gate.fsim 0.0 0.0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if not (Cnum.equal ~tol:1e-12 m.(i).(j) id4.(i).(j)) then
+        Alcotest.failf "fsim(0,0) entry (%d,%d)" i j
+    done
+  done;
+  let sw = Gate.fsim (Float.pi /. 2.0) 0.0 in
+  if not (Cnum.equal ~tol:1e-12 sw.(1).(2) (Cnum.make 0.0 (-1.0))) then
+    Alcotest.fail "fsim(pi/2,0) swap entry"
+
+let test_adjoint4 () =
+  for _ = 1 to 5 do
+    let g = Gate.fsim (Rng.angle rng) (Rng.angle rng) in
+    let p = Gate.mul4 g (Gate.adjoint4 g) in
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        let expect = if i = j then Cnum.one else Cnum.zero in
+        if not (Cnum.equal ~tol:1e-9 p.(i).(j) expect) then
+          Alcotest.failf "fsim·fsim† entry (%d,%d)" i j
+      done
+    done
+  done
+
+let prop_u3_unitary =
+  QCheck.Test.make ~name:"u3 is unitary for all parameters" ~count:200
+    QCheck.(triple (float_range 0.0 6.3) (float_range 0.0 6.3) (float_range 0.0 6.3))
+    (fun (a, b, c) -> Gate.is_unitary (Gate.u3 a b c))
+
+let prop_phase_compose =
+  QCheck.Test.make ~name:"phase(a)·phase(b) = phase(a+b)" ~count:200
+    QCheck.(pair (float_range 0.0 6.3) (float_range 0.0 6.3))
+    (fun (a, b) ->
+       Gate.equal ~tol:1e-9 (Gate.phase (a +. b)) (Gate.mul2 (Gate.phase a) (Gate.phase b)))
+
+let suite =
+  [ ( "gates",
+      [ Alcotest.test_case "constant gates unitary" `Quick test_constant_gates_unitary;
+        Alcotest.test_case "parametric gates unitary" `Quick test_parametric_gates_unitary;
+        Alcotest.test_case "two-qubit gates unitary" `Quick test_two_qubit_unitary;
+        Alcotest.test_case "algebraic identities" `Quick test_algebraic_identities;
+        Alcotest.test_case "sw squares to W" `Quick test_sw_squares_to_w;
+        Alcotest.test_case "rotations compose" `Quick test_rotations_compose;
+        Alcotest.test_case "rotation special values" `Quick test_rotation_special_values;
+        Alcotest.test_case "u3 specializations" `Quick test_u3_specializations;
+        Alcotest.test_case "adjoint" `Quick test_adjoint;
+        Alcotest.test_case "fsim specializations" `Quick test_fsim_specializations;
+        Alcotest.test_case "adjoint4" `Quick test_adjoint4;
+        QCheck_alcotest.to_alcotest prop_u3_unitary;
+        QCheck_alcotest.to_alcotest prop_phase_compose ] ) ]

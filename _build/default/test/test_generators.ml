@@ -1,0 +1,192 @@
+let norm_preserved name c =
+  let st = Apply.run c in
+  Alcotest.(check (float 1e-9)) (name ^ " norm") 1.0 (Buf.norm2 st.State.amps)
+
+let test_ghz () =
+  let c = Ghz.circuit 5 in
+  Alcotest.(check int) "gate count" 5 (Circuit.num_gates c);
+  let st = Apply.run c in
+  Alcotest.(check (float 1e-12)) "P(00000)" 0.5 (State.probability st 0);
+  Alcotest.(check (float 1e-12)) "P(11111)" 0.5 (State.probability st 31);
+  for i = 1 to 30 do
+    Alcotest.(check (float 1e-12)) "others zero" 0.0 (State.probability st i)
+  done
+
+let test_adder_functional () =
+  (* The adder must compute a + b classically for several seeds/sizes. *)
+  List.iter
+    (fun (n, seed) ->
+       let c = Adder.circuit ~seed n in
+       let st = Apply.run c in
+       let expected = Adder.expected_basis_index ~seed n in
+       let p = State.probability st expected in
+       if Float.abs (p -. 1.0) > 1e-9 then begin
+         let a, b, sum = Adder.expected ~seed n in
+         Alcotest.failf "adder n=%d seed=%d: %d+%d=%d, P(expected)=%f" n seed a b sum p
+       end)
+    [ (4, 1); (6, 1); (6, 2); (8, 3); (10, 4); (12, 5) ]
+
+let test_adder_validation () =
+  Alcotest.(check bool) "odd width rejected" true
+    (try ignore (Adder.circuit 7); false with Invalid_argument _ -> true)
+
+let test_qft_amplitudes () =
+  (* QFT of |x> has amplitudes e^{2pi i x k / N} / sqrt N. *)
+  let n = 4 and x = 5 in
+  let c = Qft.on_basis ~x n in
+  let st = Apply.run c in
+  let dim = 1 lsl n in
+  let norm = 1.0 /. sqrt (float_of_int dim) in
+  for k = 0 to dim - 1 do
+    let expected =
+      Cnum.polar norm (2.0 *. Float.pi *. float_of_int (x * k) /. float_of_int dim)
+    in
+    let got = State.amplitude st k in
+    if not (Cnum.equal ~tol:1e-9 expected got) then
+      Alcotest.failf "QFT amplitude %d: expected %s got %s" k
+        (Cnum.to_string expected) (Cnum.to_string got)
+  done
+
+let test_grover_amplification () =
+  let n = 6 and marked = 11 in
+  let p_of iters =
+    let c = Grover.circuit ~marked ~iterations:iters n in
+    let st = Apply.run c in
+    State.probability st marked
+  in
+  let p1 = p_of 1 and popt = p_of (Grover.optimal_iterations n) in
+  Alcotest.(check bool) "amplified" true (popt > 0.95);
+  Alcotest.(check bool) "monotone from one iteration" true (popt > p1);
+  Alcotest.(check bool) "marked validation" true
+    (try ignore (Grover.circuit ~marked:100 4); false with Invalid_argument _ -> true)
+
+let test_bv_recovers_secret () =
+  List.iter
+    (fun secret ->
+       let n = 7 in
+       let c = Bv.circuit ~secret n in
+       let st = Apply.run c in
+       (* Input register must read the secret with certainty; the ancilla
+          is left in |-> so both ancilla values are equally likely. *)
+       let p_sum = ref 0.0 in
+       for anc = 0 to 1 do
+         p_sum := !p_sum +. State.probability st ((anc lsl (n - 1)) lor secret)
+       done;
+       Alcotest.(check (float 1e-9)) "secret recovered" 1.0 !p_sum)
+    [ 0b0; 0b1; 0b101010; 0b111111 ]
+
+let test_dnn_structure () =
+  let c = Dnn.circuit ~seed:3 ~layers:4 8 in
+  Alcotest.(check int) "gates per layer" (4 * Dnn.gates_per_layer 8) (Circuit.num_gates c);
+  norm_preserved "dnn" c;
+  let c1 = Dnn.circuit ~seed:3 ~layers:4 8 and c2 = Dnn.circuit ~seed:3 ~layers:4 8 in
+  let a = Apply.run c1 and b = Apply.run c2 in
+  Alcotest.(check (float 0.0)) "deterministic generation" 0.0
+    (Buf.max_abs_diff a.State.amps b.State.amps);
+  let c3 = Dnn.circuit_with_gates ~gates:500 8 in
+  Alcotest.(check bool) "gate target roughly met" true
+    (abs (Circuit.num_gates c3 - 500) < Dnn.gates_per_layer 8)
+
+let test_vqe_structure () =
+  let c = Vqe.circuit ~seed:1 ~layers:2 6 in
+  norm_preserved "vqe" c;
+  Alcotest.(check int) "param count" (6 + (2 * 2 * 6)) (Vqe.num_params ~layers:2 6);
+  let angles = Array.make (Vqe.num_params ~layers:2 6) 0.0 in
+  let c0 = Vqe.ansatz ~layers:2 6 angles in
+  let st = Apply.run c0 in
+  Alcotest.(check (float 1e-9)) "zero angles give |0...0> (up to CZ phases)" 1.0
+    (State.probability st 0);
+  Alcotest.(check bool) "wrong angle count" true
+    (try ignore (Vqe.ansatz ~layers:2 6 [| 0.0 |]); false
+     with Invalid_argument _ -> true)
+
+let test_swaptest_overlap () =
+  (* With both registers loaded identically, the swap test's ancilla must
+     read 0 with probability 1 (overlap 1): build it manually. *)
+  let n = 5 in
+  let b = Circuit.Builder.create n in
+  (* Load the same rotation on both registers. *)
+  Circuit.Builder.ry b 0.9 0;
+  Circuit.Builder.ry b 0.4 1;
+  Circuit.Builder.ry b 0.9 2;
+  Circuit.Builder.ry b 0.4 3;
+  Circuit.Builder.h b 4;
+  Circuit.Builder.cswap b ~control:4 0 2;
+  Circuit.Builder.cswap b ~control:4 1 3;
+  Circuit.Builder.h b 4;
+  let st = Apply.run (Circuit.Builder.finish b) in
+  (* P(ancilla = 1) = (1 - |<a|b>|^2)/2 = 0 for identical states. *)
+  let p1 = ref 0.0 in
+  for i = 0 to (1 lsl n) - 1 do
+    if Bits.bit i 4 = 1 then p1 := !p1 +. State.probability st i
+  done;
+  Alcotest.(check (float 1e-9)) "identical states: ancilla never 1" 0.0 !p1
+
+let test_swaptest_generators () =
+  norm_preserved "swap_test" (Swaptest.swap_test 7);
+  norm_preserved "knn" (Swaptest.knn 7);
+  Alcotest.(check bool) "even width rejected" true
+    (try ignore (Swaptest.knn 6); false with Invalid_argument _ -> true);
+  (* Gate counts of the two variants are close, as in the paper's table. *)
+  let g1 = Circuit.num_gates (Swaptest.swap_test 9)
+  and g2 = Circuit.num_gates (Swaptest.knn 9) in
+  Alcotest.(check bool) "similar sizes" true (abs (g1 - g2) < 10)
+
+let test_supremacy_structure () =
+  let g = Supremacy.grid_of 12 in
+  Alcotest.(check int) "grid covers qubits" 12 (g.Supremacy.rows * g.Supremacy.cols);
+  Alcotest.(check bool) "near square" true (g.Supremacy.rows >= 3);
+  let c = Supremacy.circuit ~seed:1 ~cycles:6 12 in
+  norm_preserved "supremacy" c;
+  (* No single-qubit gate repeats on the same qubit in consecutive cycles:
+     check by scanning the op list per qubit. *)
+  let last = Array.make 12 "" in
+  let ok = ref true in
+  Array.iter
+    (fun op ->
+       match op with
+       | Circuit.Single { name; target; _ } when name = "sx" || name = "sy" || name = "sw" ->
+         if last.(target) = name then ok := false;
+         last.(target) <- name
+       | _ -> ())
+    c.Circuit.ops;
+  Alcotest.(check bool) "no consecutive repeats" true !ok;
+  let c2 = Supremacy.circuit_with_gates ~gates:400 12 in
+  Alcotest.(check bool) "gate target roughly met" true
+    (abs (Circuit.num_gates c2 - 400) < 100)
+
+let test_suite_registry () =
+  List.iter
+    (fun fam ->
+       let name = Suite.family_name fam in
+       Alcotest.(check bool) ("roundtrip " ^ name) true
+         (Suite.family_of_name name = Some fam))
+    Suite.all_families;
+  Alcotest.(check bool) "unknown name" true (Suite.family_of_name "nope" = None);
+  Alcotest.(check bool) "regular split" true
+    (Suite.regular Suite.Adder && Suite.regular Suite.Ghz
+     && (not (Suite.regular Suite.Dnn)) && not (Suite.regular Suite.Supremacy));
+  (* Every family generates a valid circuit at a reasonable size. *)
+  List.iter
+    (fun fam ->
+       let n = match fam with Suite.Knn | Suite.Swap_test -> 7 | Suite.Adder -> 8 | _ -> 6 in
+       let c = Suite.generate ~seed:2 fam ~n in
+       Alcotest.(check int) (Suite.family_name fam ^ " width") n c.Circuit.n;
+       Alcotest.(check bool) (Suite.family_name fam ^ " nonempty") true
+         (Circuit.num_gates c > 0))
+    Suite.all_families
+
+let suite =
+  [ ( "generators",
+      [ Alcotest.test_case "ghz" `Quick test_ghz;
+        Alcotest.test_case "adder adds" `Quick test_adder_functional;
+        Alcotest.test_case "adder validation" `Quick test_adder_validation;
+        Alcotest.test_case "qft closed form" `Quick test_qft_amplitudes;
+        Alcotest.test_case "grover amplifies" `Quick test_grover_amplification;
+        Alcotest.test_case "bv recovers secret" `Quick test_bv_recovers_secret;
+        Alcotest.test_case "dnn structure" `Quick test_dnn_structure;
+        Alcotest.test_case "vqe structure" `Quick test_vqe_structure;
+        Alcotest.test_case "swap test overlap" `Quick test_swaptest_overlap;
+        Alcotest.test_case "swaptest/knn generators" `Quick test_swaptest_generators;
+        Alcotest.test_case "supremacy structure" `Quick test_supremacy_structure;
+        Alcotest.test_case "suite registry" `Quick test_suite_registry ] ) ]

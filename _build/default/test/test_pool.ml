@@ -1,0 +1,117 @@
+let test_run_covers_all_workers () =
+  Pool.with_pool 4 (fun pool ->
+      let seen = Array.make 4 false in
+      Pool.run pool (fun w -> seen.(w) <- true);
+      Array.iteri
+        (fun i s -> Alcotest.(check bool) (Printf.sprintf "worker %d ran" i) true s)
+        seen)
+
+let test_run_single_inline () =
+  Pool.with_pool 1 (fun pool ->
+      let ran = ref false in
+      Pool.run pool (fun w ->
+          Alcotest.(check int) "only worker 0" 0 w;
+          ran := true);
+      Alcotest.(check bool) "ran" true !ran)
+
+let test_parallel_for_sum () =
+  Pool.with_pool 4 (fun pool ->
+      let n = 10_000 in
+      let acc = Array.make n 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> acc.(i) <- i);
+      let total = Array.fold_left ( + ) 0 acc in
+      Alcotest.(check int) "sum" (n * (n - 1) / 2) total)
+
+let test_parallel_for_each_once () =
+  Pool.with_pool 3 (fun pool ->
+      let n = 5000 in
+      let counts = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for ~chunk:7 pool ~lo:0 ~hi:n (fun i ->
+          Atomic.incr counts.(i));
+      Array.iteri
+        (fun i c ->
+           if Atomic.get c <> 1 then
+             Alcotest.failf "index %d executed %d times" i (Atomic.get c))
+        counts)
+
+let test_parallel_for_empty () =
+  Pool.with_pool 2 (fun pool ->
+      let hit = ref false in
+      Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> hit := true);
+      Pool.parallel_for pool ~lo:9 ~hi:3 (fun _ -> hit := true);
+      Alcotest.(check bool) "no iterations" false !hit)
+
+let test_parallel_for_ranges_partition () =
+  Pool.with_pool 4 (fun pool ->
+      let n = 4096 in
+      let marks = Array.make n 0 in
+      Pool.parallel_for_ranges ~chunk:100 pool ~lo:0 ~hi:n (fun a b ->
+          for i = a to b - 1 do
+            marks.(i) <- marks.(i) + 1
+          done);
+      Array.iteri
+        (fun i c -> if c <> 1 then Alcotest.failf "index %d hit %d times" i c)
+        marks)
+
+let test_exception_propagates () =
+  Pool.with_pool 4 (fun pool ->
+      Alcotest.check_raises "failure surfaces" (Failure "boom") (fun () ->
+          Pool.run pool (fun w -> if w = 2 then failwith "boom"));
+      (* The pool must remain usable after a failed job. *)
+      let acc = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr acc);
+      Alcotest.(check int) "pool survives" 4 (Atomic.get acc))
+
+let test_exception_on_caller () =
+  Pool.with_pool 2 (fun pool ->
+      Alcotest.check_raises "caller failure surfaces" (Failure "caller") (fun () ->
+          Pool.run pool (fun w -> if w = 0 then failwith "caller")))
+
+let test_reuse_many_jobs () =
+  Pool.with_pool 3 (fun pool ->
+      let total = Atomic.make 0 in
+      for _ = 1 to 200 do
+        Pool.run pool (fun _ -> Atomic.incr total)
+      done;
+      Alcotest.(check int) "600 executions" 600 (Atomic.get total))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create 2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check pass) "no deadlock" () ()
+
+let test_size () =
+  Pool.with_pool 5 (fun pool -> Alcotest.(check int) "size" 5 (Pool.size pool));
+  Alcotest.check_raises "size >= 1" (Invalid_argument "Pool.create: size must be >= 1")
+    (fun () -> ignore (Pool.create 0))
+
+let test_nested_data_parallelism () =
+  (* Two sequential parallel_fors writing to the same array: the second
+     must observe the first's writes (barrier semantics). *)
+  Pool.with_pool 4 (fun pool ->
+      let n = 2048 in
+      let a = Array.make n 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> a.(i) <- i);
+      let b = Array.make n 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> b.(i) <- a.(i) * 2);
+      Alcotest.(check int) "last" ((n - 1) * 2) b.(n - 1);
+      Alcotest.(check int) "first" 0 b.(0);
+      Alcotest.(check int) "middle" 1024 b.(512))
+
+let suite =
+  [ ( "pool",
+      [ Alcotest.test_case "run covers all workers" `Quick test_run_covers_all_workers;
+        Alcotest.test_case "size-1 pool runs inline" `Quick test_run_single_inline;
+        Alcotest.test_case "parallel_for computes all" `Quick test_parallel_for_sum;
+        Alcotest.test_case "parallel_for executes each index once" `Quick
+          test_parallel_for_each_once;
+        Alcotest.test_case "parallel_for empty ranges" `Quick test_parallel_for_empty;
+        Alcotest.test_case "parallel_for_ranges partitions" `Quick
+          test_parallel_for_ranges_partition;
+        Alcotest.test_case "worker exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "caller exception propagates" `Quick test_exception_on_caller;
+        Alcotest.test_case "many sequential jobs" `Quick test_reuse_many_jobs;
+        Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "size and validation" `Quick test_size;
+        Alcotest.test_case "barrier between jobs" `Quick test_nested_data_parallelism ] ) ]

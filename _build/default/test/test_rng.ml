@@ -1,0 +1,97 @@
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy () =
+  let a = Rng.create 7 in
+  for _ = 1 to 10 do
+    ignore (Rng.next a)
+  done;
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b)
+  done
+
+let test_int_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound must be positive" (Invalid_argument "Rng.int")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Array.iteri (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  let acc = ref 0.0 in
+  for _ = 1 to 2000 do
+    let v = Rng.float rng 2.0 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.0);
+    acc := !acc +. v
+  done;
+  let mean = !acc /. 2000.0 in
+  Alcotest.(check bool) "mean near 1" true (Float.abs (mean -. 1.0) < 0.1)
+
+let test_angle () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 100 do
+    let a = Rng.angle rng in
+    Alcotest.(check bool) "angle in [0,2pi)" true (a >= 0.0 && a < 2.0 *. Float.pi)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 17 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 50 Fun.id)
+
+let test_split_independence () =
+  let a = Rng.create 23 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "split stream differs" true (!same < 4)
+
+let test_bool_balance () =
+  let rng = Rng.create 29 in
+  let trues = ref 0 in
+  for _ = 1 to 2000 do
+    if Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 850 && !trues < 1150)
+
+let suite =
+  [ ( "rng",
+      [ Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "int range" `Quick test_int_range;
+        Alcotest.test_case "int covers all values" `Quick test_int_covers;
+        Alcotest.test_case "float range and mean" `Quick test_float_range;
+        Alcotest.test_case "angle range" `Quick test_angle;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+        Alcotest.test_case "split independence" `Quick test_split_independence;
+        Alcotest.test_case "bool balance" `Quick test_bool_balance ] ) ]
