@@ -9,7 +9,9 @@
 
    Environment knobs: FLATDD_BENCH_DD_LIMIT (seconds, default 20) bounds
    the DD baseline per run; FLATDD_BENCH_THREADS (default 4) sets the
-   worker count for the multi-threaded engines. *)
+   worker count for the multi-threaded engines; FLATDD_BENCH_METRICS=FILE
+   enables the qcs_obs instrumentation layer for the whole run and writes
+   the metrics snapshot (cache hit rates, per-phase spans) to FILE. *)
 
 let experiments =
   [ ("table1", Exp_table1.run);
@@ -20,26 +22,32 @@ let experiments =
     ("fig12", Exp_fig12.run);
     ("fig13", Exp_fig13.run);
     ("fig14", Exp_fig14.run);
-    ("ablation", Exp_ablation.run) ]
+    ("ablation", Exp_ablation.run);
+    ("obs", Exp_obs.run) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let t0 = Timer.now_ns () in
   Printf.printf "FlatDD experiment harness — %d worker threads, DD budget %.0fs\n%!"
     Workloads.threads_default Workloads.dd_time_limit;
-  (match args with
-   | [] -> List.iter (fun (_, f) -> f ()) experiments
-   | names ->
-     List.iter
-       (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> f ()
-          | None when name = "micro" -> Micro.run ()
-          | None when name = "all" -> List.iter (fun (_, f) -> f ()) experiments
-          | None ->
-            Printf.eprintf "unknown experiment %S (known: %s, micro, all)\n" name
-              (String.concat ", " (List.map fst experiments));
-            exit 1)
-       names);
+  let run_selected () =
+    match args with
+    | [] -> List.iter (fun (_, f) -> f ()) experiments
+    | names ->
+      List.iter
+        (fun name ->
+           match List.assoc_opt name experiments with
+           | Some f -> f ()
+           | None when name = "micro" -> Micro.run ()
+           | None when name = "all" -> List.iter (fun (_, f) -> f ()) experiments
+           | None ->
+             Printf.eprintf "unknown experiment %S (known: %s, micro, all)\n" name
+               (String.concat ", " (List.map fst experiments));
+             exit 1)
+        names
+  in
+  (match Sys.getenv_opt "FLATDD_BENCH_METRICS" with
+   | Some path -> Report.with_metrics_json path run_selected
+   | None -> run_selected ());
   Printf.printf "\nharness total: %.1fs\n"
     (Int64.to_float (Int64.sub (Timer.now_ns ()) t0) *. 1e-9)

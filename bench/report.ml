@@ -28,6 +28,21 @@ let table ~title ~header rows =
 
 let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n%!")
 
+(* Metrics hook: run [f] with the instrumentation layer enabled and write the
+   qcs_obs snapshot JSON to [path] when done, so BENCH_*.json runs carry
+   cache hit-rate and span trajectories next to the wall-clock numbers. *)
+let with_metrics_json path f =
+  let was_enabled = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was_enabled)
+    (fun () ->
+       let r = f () in
+       Obs.Metrics.write_file path (Obs.Metrics.snapshot ());
+       note "metrics snapshot written to %s" path;
+       r)
+
 let section title = Printf.printf "\n######## %s ########\n%!" title
 
 (* Formatting helpers. *)

@@ -65,8 +65,14 @@ let print_top_amplitudes buf count =
       Printf.printf "  |%d>  %s  (p=%.6f)\n" i (Cnum.to_string a) (Cnum.norm2 a)
   done
 
-let run engine family qasm n gates seed threads beta epsilon fusion trace top export =
+let run engine family qasm n gates seed threads beta epsilon fusion trace top export
+    metrics metrics_json =
   try
+    let metrics_wanted = metrics || metrics_json <> None in
+    if metrics_wanted then begin
+      Obs.set_enabled true;
+      Obs.Metrics.reset ()
+    end;
     let circuit = load_circuit ~name:family ~qasm ~n ~gates ~seed in
     Printf.printf "circuit: %s  (%d qubits, %d gates, depth %d)\n" circuit.Circuit.name
       circuit.Circuit.n (Circuit.num_gates circuit) (Circuit.depth circuit);
@@ -135,9 +141,21 @@ let run engine family qasm n gates seed threads beta epsilon fusion trace top ex
        Printf.printf "memory: %.2f MB\n"
          (float_of_int (Buf.memory_bytes st.State.amps) /. 1048576.0);
        if top > 0 then print_top_amplitudes st.State.amps top);
+    if metrics_wanted then begin
+      let snap = Obs.Metrics.snapshot () in
+      (match metrics_json with
+       | None -> ()
+       | Some path ->
+         Obs.Metrics.write_file path snap;
+         Printf.printf "metrics written to %s\n" path);
+      if metrics then begin
+        Printf.printf "\n== metrics (%s) ==\n" Obs.Metrics.schema;
+        print_string (Obs.Metrics.to_text snap)
+      end
+    end;
     0
   with
-  | Invalid_argument m ->
+  | Invalid_argument m | Sys_error m ->
     Printf.eprintf "error: %s\n" m;
     1
   | Qasm.Parse_error _ as e ->
@@ -172,9 +190,17 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "export" ] ~doc:"Write the circuit as OpenQASM 2.0 to this path before simulating.")
   in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Enable the instrumentation layer and print a metrics summary (counters, cache hit rates, per-phase spans).")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Enable the instrumentation layer and write the metrics snapshot as JSON to $(docv).")
+  in
   let term =
     Term.(const run $ engine $ family $ qasm $ n $ gates $ seed $ threads $ beta
-          $ epsilon $ fusion $ trace $ top $ export)
+          $ epsilon $ fusion $ trace $ top $ export $ metrics $ metrics_json)
   in
   Cmd.v (Cmd.info "flatdd" ~doc:"Hybrid decision-diagram / flat-array quantum circuit simulator") term
 

@@ -24,6 +24,16 @@ type t = {
 let zero_id = 0
 let one_id = 1
 
+(* Global instrumentation (shared by all tables). A "collision" is an insert
+   into a bucket that already holds at least one entry; a "neighbor probe" is
+   a lookup that fell past the value's own grid cell into the 3×3 scan. *)
+let c_lookups = Obs.counter "ctable.lookups"
+let c_hits = Obs.counter "ctable.hits"
+let c_inserts = Obs.counter "ctable.inserts"
+let c_collisions = Obs.counter "ctable.collisions"
+let c_neighbor_probes = Obs.counter "ctable.neighbor_probes"
+let g_entries = Obs.gauge "ctable.entries"
+
 let cell t v = int_of_float (Float.floor (v *. t.inv_tolerance))
 
 (* 2-D cell -> bucket key. Collisions between distant cells are harmless:
@@ -36,8 +46,14 @@ let add_entry t (value : Cnum.t) =
   t.count <- t.count + 1;
   let k = key (cell t value.Cnum.re) (cell t value.Cnum.im) in
   (match Itbl.find_opt t.buckets k with
-   | Some l -> l := e :: !l
+   | Some l ->
+     Obs.incr c_collisions;
+     l := e :: !l
    | None -> Itbl.add t.buckets k (ref [ e ]));
+  if Obs.enabled () then begin
+    Obs.incr c_inserts;
+    Obs.set_gauge g_entries t.count
+  end;
   e
 
 let seed t =
@@ -76,6 +92,7 @@ let find_near t (c : Cnum.t) =
   match probe t cr ci c with
   | Some _ as r -> r
   | None ->
+    Obs.incr c_neighbor_probes;
     let found = ref None in
     let dr = ref (-1) in
     while !found = None && !dr <= 1 do
@@ -90,8 +107,11 @@ let find_near t (c : Cnum.t) =
     !found
 
 let lookup t c =
+  Obs.incr c_lookups;
   match find_near t c with
-  | Some e -> e
+  | Some e ->
+    Obs.incr c_hits;
+    e
   | None -> add_entry t c
 
 let canon t c = (lookup t c).value

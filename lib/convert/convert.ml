@@ -4,7 +4,19 @@ type stats = {
   filled_amplitudes : int;
 }
 
+(* Conversion happens at most once per simulation, so per-run counter
+   updates are free; only the split phase counts nodes (the DFS conversion
+   itself touches every nonzero amplitude and stays uninstrumented). *)
+let c_runs = Obs.counter "convert.runs"
+let c_seq_runs = Obs.counter "convert.sequential_runs"
+let c_tasks = Obs.counter "convert.tasks"
+let c_fills = Obs.counter "convert.fills"
+let c_filled = Obs.counter "convert.filled_amplitudes"
+let c_split_nodes = Obs.counter "convert.split_nodes_visited"
+let s_convert = Obs.span "convert.span"
+
 let sequential ~n e =
+  Obs.incr c_seq_runs;
   let buf = Buf.create (1 lsl n) in
   let rec walk (e : Dd.vedge) offset w =
     if not (Dd.vedge_is_zero e) then begin
@@ -27,16 +39,19 @@ type task = { t_node : Dd.vnode; t_offset : int; t_weight : Cnum.t }
 type fill = { f_src : int; f_dst : int; f_len : int; f_factor : Cnum.t; f_level : int }
 
 let parallel ~pool ~n e =
+  Obs.with_span s_convert @@ fun () ->
   let buf = Buf.create (1 lsl n) in
   let threads = Pool.size pool in
   let tasks : task list ref = ref [] in
   let fills : fill list ref = ref [] in
   let n_tasks = ref 0 in
+  let split_nodes = ref 0 in
   let target_tasks = Int.max 1 (4 * threads) in
   (* Phase 1 — split the DD into sub-tree tasks. Zero edges are never
      descended into (load balancing) and identical children become fills
      (scalar multiplication), exactly the two cases of Figure 4. *)
   let rec split (node : Dd.vnode) offset weight budget =
+    incr split_nodes;
     if node == Dd.vterminal then begin
       tasks := { t_node = node; t_offset = offset; t_weight = weight } :: !tasks;
       incr n_tasks
@@ -113,6 +128,13 @@ let parallel ~pool ~n e =
            Buf.scale_into ~src:buf ~src_pos:(f.f_src + a) ~dst:buf
              ~dst_pos:(f.f_dst + a) ~len:(b - a) f.f_factor))
     fill_list;
+  if Obs.enabled () then begin
+    Obs.incr c_runs;
+    Obs.add c_tasks (Array.length task_array);
+    Obs.add c_fills (List.length fill_list);
+    Obs.add c_filled !filled;
+    Obs.add c_split_nodes !split_nodes
+  end;
   ( buf,
     { tasks = Array.length task_array;
       fills = List.length fill_list;

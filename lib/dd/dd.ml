@@ -65,15 +65,27 @@ type package = {
   madd_cache : medge Dd_cache.Three.t;
 }
 
+(* Global instrumentation, shared across packages. *)
+let c_vnodes_created = Obs.counter "dd.unique.vnodes.created"
+let c_vnodes_reused = Obs.counter "dd.unique.vnodes.reused"
+let c_mnodes_created = Obs.counter "dd.unique.mnodes.created"
+let c_mnodes_reused = Obs.counter "dd.unique.mnodes.reused"
+let c_gc_runs = Obs.counter "dd.gc.runs"
+let c_gc_vnodes_dropped = Obs.counter "dd.gc.vnodes_dropped"
+let c_gc_mnodes_dropped = Obs.counter "dd.gc.mnodes_dropped"
+let g_live_vnodes = Obs.gauge "dd.unique.vnodes.live"
+let g_live_mnodes = Obs.gauge "dd.unique.mnodes.live"
+let g_peak_vnodes = Obs.gauge "dd.unique.vnodes.peak"
+
 let create ?tolerance () =
   { ct = Ctable.create ?tolerance ();
     vunique = Hashtbl.create (1 lsl 14);
     munique = Hashtbl.create (1 lsl 12);
     next_id = 1;
-    mv_cache = Dd_cache.Two.create ~bits:16 vzero;
-    mm_cache = Dd_cache.Two.create ~bits:16 mzero;
-    vadd_cache = Dd_cache.Three.create ~bits:16 vzero;
-    madd_cache = Dd_cache.Three.create ~bits:16 mzero }
+    mv_cache = Dd_cache.Two.create ~bits:16 ~label:"mv" vzero;
+    mm_cache = Dd_cache.Two.create ~bits:16 ~label:"mm" mzero;
+    vadd_cache = Dd_cache.Three.create ~bits:16 ~label:"vadd" vzero;
+    madd_cache = Dd_cache.Three.create ~bits:16 ~label:"madd" mzero }
 
 let ctable p = p.ct
 let vweight p w = Ctable.canon p.ct w
@@ -114,7 +126,9 @@ let make_vnode p level e0 e1 =
     in
     let node =
       match Hashtbl.find_opt p.vunique key with
-      | Some n -> n
+      | Some n ->
+        Obs.incr c_vnodes_reused;
+        n
       | None ->
         let n =
           { vid = p.next_id; vlevel = level; vmark = false;
@@ -123,6 +137,10 @@ let make_vnode p level e0 e1 =
         in
         p.next_id <- p.next_id + 1;
         Hashtbl.add p.vunique key n;
+        if Obs.enabled () then begin
+          Obs.incr c_vnodes_created;
+          Obs.max_gauge g_peak_vnodes (Hashtbl.length p.vunique)
+        end;
         n
     in
     { vtgt = node; vw = norm }
@@ -153,7 +171,9 @@ let make_mnode p level e00 e01 e10 e11 =
     in
     let node =
       match Hashtbl.find_opt p.munique key with
-      | Some n -> n
+      | Some n ->
+        Obs.incr c_mnodes_reused;
+        n
       | None ->
         let n =
           { mid = p.next_id; mlevel = level; mmark = false;
@@ -161,6 +181,7 @@ let make_mnode p level e00 e01 e10 e11 =
         in
         p.next_id <- p.next_id + 1;
         Hashtbl.add p.munique key n;
+        Obs.incr c_mnodes_created;
         n
     in
     { mtgt = node; mw = Ctable.canon p.ct norm }
@@ -404,6 +425,7 @@ let clear_compute_caches p =
 
 let compact p ~vroots ~mroots =
   let acc = ref 0 in
+  let v_before = Hashtbl.length p.vunique and m_before = Hashtbl.length p.munique in
   List.iter (fun e -> if not (vedge_is_zero e) then mark_v acc e.vtgt) vroots;
   List.iter (fun e -> if not (medge_is_zero e) then mark_m acc e.mtgt) mroots;
   (* Sweep: unique-table entries whose node is unmarked are dropped; the
@@ -416,10 +438,23 @@ let compact p ~vroots ~mroots =
     p.munique;
   List.iter (fun e -> if not (vedge_is_zero e) then unmark_v e.vtgt) vroots;
   List.iter (fun e -> if not (medge_is_zero e) then unmark_m e.mtgt) mroots;
+  if Obs.enabled () then begin
+    Obs.incr c_gc_runs;
+    Obs.add c_gc_vnodes_dropped (v_before - Hashtbl.length p.vunique);
+    Obs.add c_gc_mnodes_dropped (m_before - Hashtbl.length p.munique);
+    Obs.set_gauge g_live_vnodes (Hashtbl.length p.vunique);
+    Obs.set_gauge g_live_mnodes (Hashtbl.length p.munique)
+  end;
   clear_compute_caches p
 
 let live_vnodes p = Hashtbl.length p.vunique
 let live_mnodes p = Hashtbl.length p.munique
+
+(* Push the current table sizes into the metrics gauges; the simulator calls
+   this at phase boundaries so DD-only runs also report them. *)
+let observe_gauges p =
+  Obs.set_gauge g_live_vnodes (live_vnodes p);
+  Obs.set_gauge g_live_mnodes (live_mnodes p)
 
 (* OCaml-runtime size estimates per node: record header + fields, boxed
    edges and complex weights. Documented in DESIGN.md as the stand-in for

@@ -120,6 +120,11 @@ val stats : package -> string
 val live_vnodes : package -> int
 val live_mnodes : package -> int
 
+val observe_gauges : package -> unit
+(** Pushes the current unique-table sizes into the [Obs] metrics gauges
+    ([dd.unique.vnodes.live] / [dd.unique.mnodes.live]). No-op while
+    metrics are disabled. *)
+
 val memory_bytes : package -> int
 (** Estimated live bytes of the package: unique-table entries, node
     records, compute caches and the complex table. Used by the memory

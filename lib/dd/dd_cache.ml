@@ -1,7 +1,12 @@
 (* Direct-mapped compute caches, DDSIM-style: fixed capacity, overwrite on
    collision. Decision-diagram operation caches trade hit rate for bounded
    memory and O(1) maintenance; an unbounded Hashtbl would dominate the
-   memory profile on irregular circuits. *)
+   memory profile on irregular circuits.
+
+   Each cache carries a pair of process-global [Obs] counters (shared by all
+   packages that use the same label) next to its per-instance hit/miss
+   fields, so `--metrics` runs see aggregate hit rates without threading a
+   package handle around. *)
 
 module Two = struct
   type 'a t = {
@@ -12,9 +17,11 @@ module Two = struct
     vals : 'a array;
     mutable hits : int;
     mutable misses : int;
+    obs_hits : Obs.counter;
+    obs_misses : Obs.counter;
   }
 
-  let create ?(bits = 16) dummy =
+  let create ?(bits = 16) ?(label = "two") dummy =
     let size = 1 lsl bits in
     { mask = size - 1;
       k1 = Array.make size 0;
@@ -22,7 +29,9 @@ module Two = struct
       full = Array.make size false;
       vals = Array.make size dummy;
       hits = 0;
-      misses = 0 }
+      misses = 0;
+      obs_hits = Obs.counter (Printf.sprintf "dd.cache.%s.hits" label);
+      obs_misses = Obs.counter (Printf.sprintf "dd.cache.%s.misses" label) }
 
   let slot t a b = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) land t.mask
 
@@ -30,10 +39,12 @@ module Two = struct
     let i = slot t a b in
     if t.full.(i) && t.k1.(i) = a && t.k2.(i) = b then begin
       t.hits <- t.hits + 1;
+      Obs.incr t.obs_hits;
       Some t.vals.(i)
     end
     else begin
       t.misses <- t.misses + 1;
+      Obs.incr t.obs_misses;
       None
     end
 
@@ -62,9 +73,11 @@ module Three = struct
     vals : 'a array;
     mutable hits : int;
     mutable misses : int;
+    obs_hits : Obs.counter;
+    obs_misses : Obs.counter;
   }
 
-  let create ?(bits = 16) dummy =
+  let create ?(bits = 16) ?(label = "three") dummy =
     let size = 1 lsl bits in
     { mask = size - 1;
       k1 = Array.make size 0;
@@ -73,7 +86,9 @@ module Three = struct
       full = Array.make size false;
       vals = Array.make size dummy;
       hits = 0;
-      misses = 0 }
+      misses = 0;
+      obs_hits = Obs.counter (Printf.sprintf "dd.cache.%s.hits" label);
+      obs_misses = Obs.counter (Printf.sprintf "dd.cache.%s.misses" label) }
 
   let slot t a b c =
     (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE35) land t.mask
@@ -82,10 +97,12 @@ module Three = struct
     let i = slot t a b c in
     if t.full.(i) && t.k1.(i) = a && t.k2.(i) = b && t.k3.(i) = c then begin
       t.hits <- t.hits + 1;
+      Obs.incr t.obs_hits;
       Some t.vals.(i)
     end
     else begin
       t.misses <- t.misses + 1;
+      Obs.incr t.obs_misses;
       None
     end
 

@@ -115,9 +115,21 @@ let assign_cols ~n ~t (root : Dd.medge) =
   go root Cnum.one 0 0 (n - 1);
   Array.map List.rev tasks
 
+(* Instrumentation is per kernel invocation (one gate application), never per
+   MAC: the Run recursion stays untouched, so metrics cost nothing there. *)
+let c_kernel_uncached = Obs.counter "dmav.kernel.uncached"
+let c_kernel_cached = Obs.counter "dmav.kernel.cached"
+let c_cache_hits = Obs.counter "dmav.cache.hits"
+let c_buffers = Obs.counter "dmav.buffers"
+let fc_macs_modeled = Obs.fcounter "dmav.macs.modeled"
+let fc_macs_modeled_cached = Obs.fcounter "dmav.macs.modeled_cached"
+let fc_macs_modeled_uncached = Obs.fcounter "dmav.macs.modeled_uncached"
+let s_apply = Obs.span "dmav.apply"
+
 let apply_nocache ~pool ~n root ~v ~w =
   if Buf.length v <> 1 lsl n || Buf.length w <> 1 lsl n then
     invalid_arg "Dmav.apply_nocache: buffer size mismatch";
+  Obs.incr c_kernel_uncached;
   let t = Cost.pow2_threads ~n (Pool.size pool) in
   let h = (1 lsl n) / t in
   let tasks = assign_rows ~n ~t root in
@@ -153,6 +165,7 @@ let return_buffers ws bufs =
 let apply_cache ?workspace ~pool ~n root ~v ~w =
   if Buf.length v <> 1 lsl n || Buf.length w <> 1 lsl n then
     invalid_arg "Dmav.apply_cache: buffer size mismatch";
+  Obs.incr c_kernel_cached;
   let t = Cost.pow2_threads ~n (Pool.size pool) in
   let h = (1 lsl n) / t in
   let tasks = assign_cols ~n ~t root in
@@ -208,6 +221,10 @@ let apply_cache ?workspace ~pool ~n root ~v ~w =
            Buf.add_into ~src:bufs.(bi) ~src_pos:(blk * h) ~dst:w ~dst_pos:(blk * h) ~len:h)
         contributors.(blk));
   return_buffers workspace (Array.to_list bufs);
+  if Obs.enabled () then begin
+    Obs.add c_cache_hits !hits;
+    Obs.add c_buffers n_buffers
+  end;
   (!hits, n_buffers)
 
 type exec_stats = {
@@ -219,11 +236,18 @@ type exec_stats = {
 
 let apply ?workspace:ws ~pool ~simd_width ~n root ~v ~w =
   let decision = Cost.decide ~n ~threads:(Pool.size pool) ~simd_width root in
-  if decision.Cost.cached then begin
-    let hits, buffers = apply_cache ?workspace:ws ~pool ~n root ~v ~w in
-    { used_cache = true; decision; cache_hits = hits; buffers_used = buffers }
-  end
-  else begin
-    apply_nocache ~pool ~n root ~v ~w;
-    { used_cache = false; decision; cache_hits = 0; buffers_used = 0 }
-  end
+  if Obs.enabled () then begin
+    let t = float_of_int decision.Cost.threads_used in
+    Obs.fadd fc_macs_modeled (Cost.modeled_macs decision);
+    Obs.fadd fc_macs_modeled_cached (t *. decision.Cost.c2);
+    Obs.fadd fc_macs_modeled_uncached (t *. decision.Cost.c1)
+  end;
+  Obs.with_span s_apply (fun () ->
+      if decision.Cost.cached then begin
+        let hits, buffers = apply_cache ?workspace:ws ~pool ~n root ~v ~w in
+        { used_cache = true; decision; cache_hits = hits; buffers_used = buffers }
+      end
+      else begin
+        apply_nocache ~pool ~n root ~v ~w;
+        { used_cache = false; decision; cache_hits = 0; buffers_used = 0 }
+      end)

@@ -9,13 +9,33 @@ type stats = {
 let sum_macs gates =
   List.fold_left (fun acc g -> acc +. Cost.mac_count g) 0.0 gates
 
+(* "accepted" = a DDMM product was kept as the pending fused gate;
+   "rejected" = the product cost more modeled MACs than applying the two
+   gates separately, so the pending gate was emitted instead. *)
+let c_runs = Obs.counter "fusion.runs"
+let c_gates_in = Obs.counter "fusion.gates_in"
+let c_gates_out = Obs.counter "fusion.gates_out"
+let c_ddmm_calls = Obs.counter "fusion.ddmm_calls"
+let c_accepted = Obs.counter "fusion.accepted"
+let c_rejected = Obs.counter "fusion.rejected"
+let fc_macs_saved = Obs.fcounter "fusion.macs_saved"
+
 let finish ~gates_in ~ddmm_calls ~macs_before out =
-  ( out,
+  let st =
     { gates_in;
       gates_out = List.length out;
       ddmm_calls;
       macs_before;
-      macs_after = sum_macs out } )
+      macs_after = sum_macs out }
+  in
+  if Obs.enabled () then begin
+    Obs.incr c_runs;
+    Obs.add c_gates_in st.gates_in;
+    Obs.add c_gates_out st.gates_out;
+    Obs.add c_ddmm_calls st.ddmm_calls;
+    Obs.fadd fc_macs_saved (st.macs_before -. st.macs_after)
+  end;
+  (out, st)
 
 let dmav_aware p gates =
   let macs_before = sum_macs gates in
@@ -38,11 +58,13 @@ let dmav_aware p gates =
          let m_ip = Dd.mm p m_i prev in
          let c_ip = Cost.mac_count m_ip in
          if c_i +. !c_p < c_ip then begin
+           Obs.incr c_rejected;
            out := prev :: !out;
            m_p := Some m_i;
            c_p := c_i
          end
          else begin
+           Obs.incr c_accepted;
            m_p := Some m_ip;
            c_p := c_ip
          end)
@@ -68,6 +90,7 @@ let k_operations p ~k gates =
           count := 1
         | Some prev ->
           incr ddmm;
+          Obs.incr c_accepted;
           pending := Some (Dd.mm p m_i prev);
           count := !count + 1);
        if !count = k then begin

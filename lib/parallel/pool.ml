@@ -1,5 +1,15 @@
 type job = (int -> unit) option
 
+(* Global instrumentation: jobs posted, parallel_for dispatches, and the
+   accumulated busy time of all workers (the caller's share included). The
+   busy span's count is worker-job executions, not jobs. *)
+let c_jobs = Obs.counter "pool.jobs"
+let c_parallel_for = Obs.counter "pool.parallel_for"
+let s_busy = Obs.span "pool.worker_busy"
+
+let timed_apply f w =
+  if Obs.enabled () then Obs.with_span s_busy (fun () -> f w) else f w
+
 type t = {
   size : int;
   mutex : Mutex.t;
@@ -33,7 +43,7 @@ let worker_loop t w my_gen =
       my_gen := t.generation;
       let f = match t.job with Some f -> f | None -> fun _ -> () in
       Mutex.unlock t.mutex;
-      let result = try Ok (f w) with e -> Error e in
+      let result = try Ok (timed_apply f w) with e -> Error e in
       Mutex.lock t.mutex;
       (match result with
        | Ok () -> ()
@@ -66,7 +76,8 @@ let size t = t.size
 
 let run t f =
   if t.stop then invalid_arg "Pool.run: pool is shut down";
-  if t.size = 1 then f 0
+  Obs.incr c_jobs;
+  if t.size = 1 then timed_apply f 0
   else begin
     Mutex.lock t.mutex;
     t.job <- Some f;
@@ -75,7 +86,7 @@ let run t f =
     t.generation <- t.generation + 1;
     Condition.broadcast t.cond_job;
     Mutex.unlock t.mutex;
-    let caller_result = try Ok (f 0) with e -> Error e in
+    let caller_result = try Ok (timed_apply f 0) with e -> Error e in
     Mutex.lock t.mutex;
     while t.pending > 0 do
       Condition.wait t.cond_done t.mutex
@@ -96,6 +107,7 @@ let default_chunk t ~lo ~hi =
 
 let parallel_for_ranges ?chunk t ~lo ~hi f =
   if hi > lo then begin
+    Obs.incr c_parallel_for;
     let chunk = match chunk with Some c -> Int.max 1 c | None -> default_chunk t ~lo ~hi in
     if t.size = 1 || hi - lo <= chunk then f lo hi
     else begin

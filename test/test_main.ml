@@ -24,4 +24,6 @@ let () =
          Test_flatdd.suite;
          Test_extras.suite;
          Test_cross_engine.suite;
+         Test_differential.suite;
+         Test_obs.suite;
          Test_analysis.suite ])

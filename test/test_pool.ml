@@ -99,6 +99,68 @@ let test_nested_data_parallelism () =
       Alcotest.(check int) "first" 0 b.(0);
       Alcotest.(check int) "middle" 1024 b.(512))
 
+(* ---- stress cases -------------------------------------------------- *)
+
+let test_oversubscribed_parallel_for () =
+  (* Far more chunks than workers, chunk size 1: the atomic cursor hands out
+     30k single-index chunks and every index must still run exactly once. *)
+  Pool.with_pool 3 (fun pool ->
+      let n = 30_000 in
+      let counts = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n (fun i -> Atomic.incr counts.(i));
+      Array.iteri
+        (fun i c ->
+           if Atomic.get c <> 1 then
+             Alcotest.failf "index %d executed %d times" i (Atomic.get c))
+        counts)
+
+let test_oversubscribed_pool () =
+  (* More domains than cores: jobs must still join correctly. *)
+  let workers = (2 * Domain.recommended_domain_count ()) + 1 in
+  Pool.with_pool workers (fun pool ->
+      let acc = Atomic.make 0 in
+      for _ = 1 to 20 do
+        Pool.run pool (fun _ -> Atomic.incr acc)
+      done;
+      Alcotest.(check int) "all jobs ran" (20 * workers) (Atomic.get acc))
+
+let test_nested_pools () =
+  (* An inner pool created inside an outer pool's job: the inner fork-join
+     must complete without deadlocking the outer barrier. *)
+  Pool.with_pool 3 (fun outer ->
+      let total = Atomic.make 0 in
+      Pool.run outer (fun _ ->
+          Pool.with_pool 2 (fun inner ->
+              Pool.parallel_for inner ~lo:0 ~hi:100 (fun _ -> Atomic.incr total)));
+      Alcotest.(check int) "3 outer x 100 inner" 300 (Atomic.get total))
+
+let test_exception_in_parallel_for () =
+  Pool.with_pool 4 (fun pool ->
+      Alcotest.check_raises "parallel_for failure surfaces" (Failure "mid-loop")
+        (fun () ->
+           Pool.parallel_for pool ~lo:0 ~hi:10_000 (fun i ->
+               if i = 7321 then failwith "mid-loop"));
+      (* The pool must stay usable for both job styles afterwards. *)
+      let acc = Atomic.make 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:1000 (fun _ -> Atomic.incr acc);
+      Alcotest.(check int) "parallel_for survives" 1000 (Atomic.get acc);
+      let ran = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr ran);
+      Alcotest.(check int) "run survives" 4 (Atomic.get ran))
+
+let test_repeated_exceptions () =
+  (* Exceptions on different workers across many jobs must not corrupt the
+     pool's job state (stale exception resurfacing on a later join). *)
+  Pool.with_pool 4 (fun pool ->
+      for round = 1 to 10 do
+        let msg = Printf.sprintf "round %d" round in
+        Alcotest.check_raises msg (Failure msg) (fun () ->
+            Pool.run pool (fun w -> if w = round mod 4 then failwith msg))
+      done;
+      let acc = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr acc);
+      Alcotest.(check int) "clean job after 10 failures" 4 (Atomic.get acc))
+
 let suite =
   [ ( "pool",
       [ Alcotest.test_case "run covers all workers" `Quick test_run_covers_all_workers;
@@ -114,4 +176,12 @@ let suite =
         Alcotest.test_case "many sequential jobs" `Quick test_reuse_many_jobs;
         Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
         Alcotest.test_case "size and validation" `Quick test_size;
-        Alcotest.test_case "barrier between jobs" `Quick test_nested_data_parallelism ] ) ]
+        Alcotest.test_case "barrier between jobs" `Quick test_nested_data_parallelism;
+        Alcotest.test_case "oversubscribed parallel_for" `Quick
+          test_oversubscribed_parallel_for;
+        Alcotest.test_case "oversubscribed pool" `Quick test_oversubscribed_pool;
+        Alcotest.test_case "nested pools" `Quick test_nested_pools;
+        Alcotest.test_case "exception in parallel_for" `Quick
+          test_exception_in_parallel_for;
+        Alcotest.test_case "repeated worker exceptions" `Quick
+          test_repeated_exceptions ] ) ]
