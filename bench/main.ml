@@ -23,7 +23,8 @@ let experiments =
     ("fig13", Exp_fig13.run);
     ("fig14", Exp_fig14.run);
     ("ablation", Exp_ablation.run);
-    ("obs", Exp_obs.run) ]
+    ("obs", Exp_obs.run);
+    ("sched", Exp_sched.run) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

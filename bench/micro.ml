@@ -6,9 +6,8 @@
 open Bechamel
 open Toolkit
 
-let make_tests () =
+let make_tests pool =
   let n = 10 in
-  let pool = Pool.create 1 in
   let p = Dd.create () in
   let gate = Mat_dd.of_single p ~n ~target:(n - 1) ~controls:[] Gate.h in
   let cx = Mat_dd.of_single p ~n ~target:7 ~controls:[ 2 ] Gate.x in
@@ -42,7 +41,8 @@ let make_tests () =
 
 let run () =
   Report.section "Microbenchmarks (bechamel, ns per run)";
-  let tests = make_tests () in
+  Pool.with_pool 1 (fun pool ->
+  let tests = make_tests pool in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -72,4 +72,4 @@ let run () =
        Report.table ~title:("microbench (" ^ measure ^ ")")
          ~header:[ "kernel"; "ns/run" ]
          (List.sort compare !rows))
-    merged
+    merged)

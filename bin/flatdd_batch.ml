@@ -1,0 +1,132 @@
+(* flatdd_batch — batched multi-circuit driver.
+
+   Reads a JSONL manifest (one job per line: a named suite circuit or a
+   QASM path, plus per-job config/priority/deadline/retry overrides),
+   schedules every job over one shared worker pool with [slots]
+   concurrent runners, and emits a JSONL result stream in manifest order
+   (deterministic for a fixed manifest) plus an optional qcs_obs metrics
+   snapshot. Progress streams to stderr as jobs resolve. *)
+
+open Cmdliner
+
+let progress verbose jr =
+  if verbose then
+    Printf.eprintf "[%s] %s (attempts %d%s, %.3fs)\n%!"
+      (Sched.outcome_name jr.Sched.outcome)
+      jr.Sched.job.Sched.id jr.Sched.attempts
+      (if jr.Sched.downgraded then ", downgraded" else "")
+      jr.Sched.run_s
+
+let summarize results =
+  let count o =
+    List.length
+      (List.filter (fun jr -> Sched.outcome_name jr.Sched.outcome = o) results)
+  in
+  Printf.eprintf "batch: %d jobs — %d completed, %d failed, %d timed_out, %d cancelled\n%!"
+    (List.length results) (count "completed") (count "failed") (count "timed_out")
+    (count "cancelled")
+
+let run manifest slots threads seed out no_timings strict verbose metrics metrics_json =
+  try
+    let metrics_wanted = metrics || metrics_json <> None in
+    if metrics_wanted then begin
+      Obs.set_enabled true;
+      Obs.Metrics.reset ()
+    end;
+    let resolved = Manifest.load ~base_seed:seed manifest in
+    if resolved = [] then begin
+      Printf.eprintf "error: manifest %s contains no jobs\n" manifest;
+      raise Exit
+    end;
+    Printf.eprintf "batch: %d jobs, %d slots over a %d-worker pool (base seed %d)\n%!"
+      (List.length resolved) slots threads seed;
+    let results =
+      Pool.with_pool threads (fun pool ->
+          Sched.run_jobs ~on_result:(progress verbose) ~pool ~slots
+            (List.map (fun r -> r.Manifest.job) resolved))
+    in
+    summarize results;
+    let text = Manifest.result_lines ~timings:(not no_timings) (List.combine resolved results) in
+    (match out with
+     | "-" -> print_string text
+     | path ->
+       Obs.atomic_write_file path text;
+       Printf.eprintf "results written to %s\n%!" path);
+    if metrics_wanted then begin
+      let snap = Obs.Metrics.snapshot () in
+      (match metrics_json with
+       | None -> ()
+       | Some path ->
+         Obs.Metrics.write_file path snap;
+         Printf.eprintf "metrics written to %s\n%!" path);
+      if metrics then begin
+        Printf.eprintf "\n== metrics (%s) ==\n" Obs.Metrics.schema;
+        prerr_string (Obs.Metrics.to_text snap)
+      end
+    end;
+    let incomplete =
+      List.filter
+        (fun jr -> match jr.Sched.outcome with Sched.Completed _ -> false | _ -> true)
+        results
+    in
+    if strict && incomplete <> [] then begin
+      Printf.eprintf "strict: %d job(s) did not complete\n" (List.length incomplete);
+      2
+    end
+    else 0
+  with
+  | Exit -> 1
+  | Manifest.Error m | Invalid_argument m | Sys_error m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+
+let cmd =
+  let manifest =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MANIFEST" ~doc:"JSONL manifest, one job object per line.")
+  in
+  let slots =
+    Arg.(value & opt int 2
+         & info [ "s"; "slots" ] ~doc:"Concurrent jobs (runner domains).")
+  in
+  let threads =
+    Arg.(value & opt int 4
+         & info [ "t"; "threads" ] ~doc:"Workers in the shared simulation pool.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Base seed; jobs without an explicit seed derive theirs from it (splitmix).")
+  in
+  let out =
+    Arg.(value & opt string "-"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Result JSONL destination (atomic write; - for stdout).")
+  in
+  let no_timings =
+    Arg.(value & flag
+         & info [ "no-timings" ] ~doc:"Omit the *_s timing fields, making the result stream byte-deterministic.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit with status 2 unless every job completed.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Stream per-job progress to stderr.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Enable the instrumentation layer and print a metrics summary to stderr.")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Enable the instrumentation layer and write the snapshot as JSON to $(docv).")
+  in
+  let term =
+    Term.(const run $ manifest $ slots $ threads $ seed $ out $ no_timings $ strict
+          $ verbose $ metrics $ metrics_json)
+  in
+  Cmd.v
+    (Cmd.info "flatdd_batch"
+       ~doc:"Run a manifest of simulation jobs over one shared pool with priorities, deadlines and retries")
+    term
+
+let () = exit (Cmd.eval' cmd)

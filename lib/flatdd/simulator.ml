@@ -1,5 +1,7 @@
 type phase = Dd_phase | Conversion | Dmav_phase
 
+exception Cancelled
+
 type gate_record = {
   index : int;
   name : string;
@@ -47,9 +49,17 @@ let c_dd_gates = Obs.counter "sim.gates_dd"
 let c_dmav_gates = Obs.counter "sim.gates_dmav"
 let c_conversions = Obs.counter "sim.conversions"
 
-let simulate ?pool (cfg : Config.t) (c : Circuit.t) =
+let simulate ?cancel ?pool (cfg : Config.t) (c : Circuit.t) =
   let n = c.Circuit.n in
   let gates = Circuit.num_gates c in
+  (* Cooperative cancellation: polled once per gate (and around the
+     conversion), never inside a kernel, so the check costs one closure
+     call per gate and cancellation latency is one gate application. *)
+  let check_cancel =
+    match cancel with
+    | None -> fun () -> ()
+    | Some poll -> fun () -> if poll () then raise Cancelled
+  in
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Pool.create (Int.max 1 cfg.Config.threads) in
   Fun.protect
@@ -75,6 +85,7 @@ let simulate ?pool (cfg : Config.t) (c : Circuit.t) =
        let (), seconds_dd =
          Obs.timed s_dd_phase (fun () ->
              while !i < gates && not !want_convert do
+               check_cancel ();
                let op = c.Circuit.ops.(!i) in
                let (), dt =
                  Timer.time (fun () ->
@@ -107,6 +118,7 @@ let simulate ?pool (cfg : Config.t) (c : Circuit.t) =
        let flat = ref None in
        let seconds_convert =
          if !want_convert && !i <= gates then begin
+           check_cancel ();
            Obs.incr c_conversions;
            let buf_stats, dt =
              Obs.timed s_convert (fun () -> Convert.parallel ~pool ~n !state)
@@ -161,6 +173,7 @@ let simulate ?pool (cfg : Config.t) (c : Circuit.t) =
                  let max_buffers = ref 0 in
                  List.iteri
                    (fun j (name, m) ->
+                      check_cancel ();
                       let stats = ref None in
                       let (), dt =
                         Timer.time (fun () ->

@@ -10,6 +10,9 @@
 
 type phase = Dd_phase | Conversion | Dmav_phase
 
+exception Cancelled
+(** Raised by {!simulate} when its [cancel] poll returns [true]. *)
+
 type gate_record = {
   index : int;            (** index into the (possibly fused) gate stream *)
   name : string;
@@ -43,10 +46,16 @@ type result = {
   fusion_stats : Fusion.stats option;
 }
 
-val simulate : ?pool:Pool.t -> Config.t -> Circuit.t -> result
+val simulate : ?cancel:(unit -> bool) -> ?pool:Pool.t -> Config.t -> Circuit.t -> result
 (** Runs the circuit from |0…0⟩. When [pool] is omitted a pool of
     [config.threads] workers is created for the call; a supplied pool
-    overrides [config.threads] and is left running. *)
+    overrides [config.threads] and is left running.
+
+    [cancel] is polled at every gate boundary (DD and DMAV phases) and
+    before the conversion; the first poll returning [true] aborts the run
+    by raising {!Cancelled}. The scheduler uses this for deadlines and
+    job cancellation — an owned pool is still shut down on the way out,
+    and a supplied pool stays reusable. *)
 
 val amplitudes : result -> Buf.t
 (** Final amplitudes as a flat vector (converts sequentially if the run

@@ -114,6 +114,27 @@ let span_count s = Atomic.get s.s_count
 let span_seconds s = float_of_int (Atomic.get s.s_ns) *. 1e-9
 
 (* ------------------------------------------------------------------ *)
+(* Crash-safe snapshot writes                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Write-then-rename so a reader never observes a truncated file: the
+   temp file lives in the destination directory (rename must not cross a
+   filesystem) and is removed if anything fails before the rename. Used
+   for every JSON artifact the CLIs emit (metrics snapshots, batch result
+   streams). *)
+let atomic_write_file path contents =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots and the stable JSON wire format                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -236,6 +257,7 @@ module Metrics = struct
 
   type jv =
     | Jobj of (string * jv) list
+    | Jarr of jv list
     | Jstr of string
     | Jnum of string
     | Jbool of bool
@@ -300,6 +322,7 @@ module Metrics = struct
       skip_ws ();
       match peek () with
       | Some '{' -> parse_obj ()
+      | Some '[' -> parse_arr ()
       | Some '"' -> Jstr (parse_string ())
       | Some 't' ->
         if !pos + 4 <= len && String.sub text !pos 4 = "true" then (pos := !pos + 4; Jbool true)
@@ -343,6 +366,28 @@ module Metrics = struct
         in
         Jobj (members [])
       end
+    and parse_arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jarr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jarr (elements [])
+      end
     in
     let v = parse_value () in
     skip_ws ();
@@ -385,11 +430,7 @@ module Metrics = struct
       gauges = List.map (fun (k, v) -> (k, num int_of_string v)) (section "gauges");
       spans = List.map (fun (k, v) -> (k, span_of v)) (section "spans") }
 
-  let write_file path snap =
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_json snap))
+  let write_file path snap = atomic_write_file path (to_json snap)
 
   (* --- human-readable rendering for the CLI ---------------------------- *)
 

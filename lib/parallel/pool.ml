@@ -2,16 +2,19 @@ type job = (int -> unit) option
 
 (* Global instrumentation: jobs posted, parallel_for dispatches, and the
    accumulated busy time of all workers (the caller's share included). The
-   busy span's count is worker-job executions, not jobs. *)
+   busy span's count is worker-job executions, not jobs. The admission span
+   accumulates the time concurrent callers spent waiting for the pool. *)
 let c_jobs = Obs.counter "pool.jobs"
 let c_parallel_for = Obs.counter "pool.parallel_for"
 let s_busy = Obs.span "pool.worker_busy"
+let s_admission = Obs.span "pool.admission_wait"
 
 let timed_apply f w =
   if Obs.enabled () then Obs.with_span s_busy (fun () -> f w) else f w
 
 type t = {
   size : int;
+  admission : Mutex.t;          (* serializes whole fork-join jobs across callers *)
   mutex : Mutex.t;
   cond_job : Condition.t;       (* signalled when a new job (or shutdown) is posted *)
   cond_done : Condition.t;      (* signalled when a worker finishes its share *)
@@ -58,6 +61,7 @@ let create size =
   if size < 1 then invalid_arg "Pool.create: size must be >= 1";
   let t =
     { size;
+      admission = Mutex.create ();
       mutex = Mutex.create ();
       cond_job = Condition.create ();
       cond_done = Condition.create ();
@@ -74,30 +78,40 @@ let create size =
 
 let size t = t.size
 
+(* Concurrent callers (e.g. scheduler slots sharing one pool) are admitted
+   one fork-join job at a time: the admission mutex is held for the whole
+   job, so [job]/[generation]/[pending] only ever see a single driver. A
+   size-1 pool runs inline and needs no admission. *)
 let run t f =
   if t.stop then invalid_arg "Pool.run: pool is shut down";
   Obs.incr c_jobs;
   if t.size = 1 then timed_apply f 0
   else begin
-    Mutex.lock t.mutex;
-    t.job <- Some f;
-    t.failure <- None;
-    t.pending <- t.size - 1;
-    t.generation <- t.generation + 1;
-    Condition.broadcast t.cond_job;
-    Mutex.unlock t.mutex;
-    let caller_result = try Ok (timed_apply f 0) with e -> Error e in
-    Mutex.lock t.mutex;
-    while t.pending > 0 do
-      Condition.wait t.cond_done t.mutex
-    done;
-    t.job <- None;
-    let failure = t.failure in
-    Mutex.unlock t.mutex;
-    match caller_result, failure with
-    | Error e, _ -> raise e
-    | Ok (), Some e -> raise e
-    | Ok (), None -> ()
+    if Obs.enabled () then Obs.with_span s_admission (fun () -> Mutex.lock t.admission)
+    else Mutex.lock t.admission;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.admission)
+      (fun () ->
+         if t.stop then invalid_arg "Pool.run: pool is shut down";
+         Mutex.lock t.mutex;
+         t.job <- Some f;
+         t.failure <- None;
+         t.pending <- t.size - 1;
+         t.generation <- t.generation + 1;
+         Condition.broadcast t.cond_job;
+         Mutex.unlock t.mutex;
+         let caller_result = try Ok (timed_apply f 0) with e -> Error e in
+         Mutex.lock t.mutex;
+         while t.pending > 0 do
+           Condition.wait t.cond_done t.mutex
+         done;
+         t.job <- None;
+         let failure = t.failure in
+         Mutex.unlock t.mutex;
+         match caller_result, failure with
+         | Error e, _ -> raise e
+         | Ok (), Some e -> raise e
+         | Ok (), None -> ())
   end
 
 let default_chunk t ~lo ~hi =

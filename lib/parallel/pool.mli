@@ -11,7 +11,15 @@
     variable between jobs) but creating one spawns domains, so harness code
     keeps a pool alive across a whole experiment. A pool of size 1 never
     spawns domains and runs everything inline, which keeps single-threaded
-    baselines free of synchronization overhead. *)
+    baselines free of synchronization overhead.
+
+    A pool may be shared by concurrent callers (the batch scheduler runs
+    many simulations over one pool): fork-join jobs are admitted one at a
+    time under an internal admission lock, so concurrent [run] /
+    [parallel_for] calls serialize against each other instead of
+    corrupting the pool. The accumulated admission wait is exported as the
+    [pool.admission_wait] span. For one-shot task submission with futures
+    see {!Taskq}. *)
 
 type t
 
@@ -28,7 +36,8 @@ val run : t -> (int -> unit) -> unit
 (** [run t f] executes [f w] once for every worker index
     [w = 0 .. size - 1], in parallel, and returns when all are done.
     [f 0] runs on the calling domain. Exceptions raised by any worker are
-    re-raised on the caller after the join. *)
+    re-raised on the caller after the join. Safe to call from several
+    domains at once: whole jobs serialize on the admission lock. *)
 
 val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi f] runs [f i] for each [lo <= i < hi],

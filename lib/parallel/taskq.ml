@@ -1,0 +1,251 @@
+(* A job-level task executor: [slots] dedicated domains pull one-shot
+   tasks from a priority queue (max-priority first, FIFO within a
+   priority). This is the complement of [Pool]: a pool fans one
+   data-parallel job out over every worker, a task queue runs many
+   independent jobs one-per-slot. The batch scheduler layers deadlines,
+   retries and cancellation on top of it (lib/sched).
+
+   Tasks are heap entries of (priority, admission sequence); each entry
+   owns a closure that resolves its handle. Aborting a queued task just
+   flips the handle state — the dead entry is skipped when a worker pops
+   it, which keeps the heap free of random deletions. *)
+
+let c_submitted = Obs.counter "taskq.submitted"
+let c_executed = Obs.counter "taskq.executed"
+let c_aborted = Obs.counter "taskq.aborted"
+let g_queue_peak = Obs.gauge "taskq.queue_peak"
+let s_run = Obs.span "taskq.task_run"
+
+exception Aborted
+
+(* [exec ~run:true] executes the task (worker side); [exec ~run:false]
+   abandons a still-queued task at shutdown. Both are called with the
+   queue mutex held and return with it held. *)
+type entry = { prio : int; seq : int; exec : run:bool -> unit }
+
+type t = {
+  slots : int;
+  mutex : Mutex.t;
+  cond_task : Condition.t;      (* a task was queued, the queue started, or stop *)
+  cond_done : Condition.t;      (* some handle reached a final state *)
+  mutable heap : entry option array;
+  mutable heap_len : int;
+  mutable seq : int;
+  mutable live : int;           (* submitted, not yet Done/Aborted *)
+  mutable started : bool;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type 'a state = Queued | Running | Done of ('a, exn) result | Stopped
+type 'a handle = { q : t; mutable st : 'a state }
+
+(* --- binary max-heap on (prio, -seq), guarded by t.mutex ------------- *)
+
+let entry_before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let heap_get t i = match t.heap.(i) with Some e -> e | None -> assert false
+
+let heap_push t e =
+  if t.heap_len = Array.length t.heap then begin
+    let bigger = Array.make (Int.max 8 (2 * t.heap_len)) None in
+    Array.blit t.heap 0 bigger 0 t.heap_len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.heap_len) <- Some e;
+  t.heap_len <- t.heap_len + 1;
+  let i = ref (t.heap_len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    entry_before (heap_get t !i) (heap_get t parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done;
+  Obs.max_gauge g_queue_peak t.heap_len
+
+let heap_pop t =
+  let top = heap_get t 0 in
+  t.heap_len <- t.heap_len - 1;
+  t.heap.(0) <- t.heap.(t.heap_len);
+  t.heap.(t.heap_len) <- None;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let best = ref !i in
+    if l < t.heap_len && entry_before (heap_get t l) (heap_get t !best) then best := l;
+    if r < t.heap_len && entry_before (heap_get t r) (heap_get t !best) then best := r;
+    if !best = !i then continue := false
+    else begin
+      let tmp = t.heap.(!best) in
+      t.heap.(!best) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !best
+    end
+  done;
+  top
+
+(* --- workers ---------------------------------------------------------- *)
+
+let worker_loop t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while (not t.stop) && (t.heap_len = 0 || not t.started) do
+      Condition.wait t.cond_task t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      let e = heap_pop t in
+      e.exec ~run:true;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ?(paused = false) slots =
+  if slots < 1 then invalid_arg "Taskq.create: slots must be >= 1";
+  let t =
+    { slots;
+      mutex = Mutex.create ();
+      cond_task = Condition.create ();
+      cond_done = Condition.create ();
+      heap = Array.make 16 None;
+      heap_len = 0;
+      seq = 0;
+      live = 0;
+      started = not paused;
+      stop = false;
+      domains = [] }
+  in
+  t.domains <- List.init slots (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let slots t = t.slots
+
+let start t =
+  Mutex.lock t.mutex;
+  if not t.started then begin
+    t.started <- true;
+    Condition.broadcast t.cond_task
+  end;
+  Mutex.unlock t.mutex
+
+let submit ?(priority = 0) t f =
+  let h = { q = t; st = Queued } in
+  let exec ~run =
+    match h.st with
+    | Stopped -> ()                      (* aborted while queued; skip *)
+    | Queued when not run ->
+      h.st <- Stopped;
+      t.live <- t.live - 1;
+      Condition.broadcast t.cond_done
+    | Queued ->
+      h.st <- Running;
+      Mutex.unlock t.mutex;
+      Obs.incr c_executed;
+      let r = try Ok (Obs.with_span s_run f) with e -> Error e in
+      Mutex.lock t.mutex;
+      h.st <- Done r;
+      t.live <- t.live - 1;
+      Condition.broadcast t.cond_done
+    | Running | Done _ -> assert false
+  in
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Taskq.submit: queue is shut down"
+  end;
+  Obs.incr c_submitted;
+  let e = { prio = priority; seq = t.seq; exec } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  heap_push t e;
+  if t.started then Condition.signal t.cond_task;
+  Mutex.unlock t.mutex;
+  h
+
+let try_abort h =
+  let t = h.q in
+  Mutex.lock t.mutex;
+  let aborted =
+    match h.st with
+    | Queued ->
+      h.st <- Stopped;
+      t.live <- t.live - 1;
+      Obs.incr c_aborted;
+      Condition.broadcast t.cond_done;
+      true
+    | Running | Done _ | Stopped -> false
+  in
+  Mutex.unlock t.mutex;
+  aborted
+
+let await h =
+  let t = h.q in
+  Mutex.lock t.mutex;
+  while (match h.st with Queued | Running -> true | Done _ | Stopped -> false) do
+    Condition.wait t.cond_done t.mutex
+  done;
+  let r = match h.st with Done r -> r | Stopped -> Error Aborted | _ -> assert false in
+  Mutex.unlock t.mutex;
+  r
+
+let peek h =
+  let t = h.q in
+  Mutex.lock t.mutex;
+  let r =
+    match h.st with
+    | Done r -> Some r
+    | Stopped -> Some (Error Aborted)
+    | Queued | Running -> None
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let pending t =
+  Mutex.lock t.mutex;
+  let v = t.live in
+  Mutex.unlock t.mutex;
+  v
+
+let wait_idle t =
+  Mutex.lock t.mutex;
+  if not t.started then begin
+    t.started <- true;
+    Condition.broadcast t.cond_task
+  end;
+  while t.live > 0 do
+    Condition.wait t.cond_done t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    (* Queued-but-never-run tasks resolve to Aborted so awaiters unblock. *)
+    for i = 0 to t.heap_len - 1 do
+      (heap_get t i).exec ~run:false;
+      t.heap.(i) <- None
+    done;
+    t.heap_len <- 0;
+    Condition.broadcast t.cond_task;
+    Condition.broadcast t.cond_done;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+  else Mutex.unlock t.mutex
+
+let with_queue ?paused slots f =
+  let t = create ?paused slots in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,64 @@
+(** Job-level task submission with futures — the complement of {!Pool}.
+
+    A {!Pool.t} fans one data-parallel job out over every worker; a
+    [Taskq.t] runs many {e independent} one-shot tasks, one per slot, in
+    max-priority order with FIFO ordering inside a priority class. The
+    batch scheduler (`lib/sched`) submits whole simulations here while
+    their inner data-parallel phases share a single pool.
+
+    Slots are dedicated domains. A task raising is captured in its handle
+    and never kills a slot. Instrumented as
+    [taskq.{submitted,executed,aborted}], gauge [taskq.queue_peak] and
+    span [taskq.task_run]. *)
+
+type t
+
+exception Aborted
+(** Resolution of a task that was aborted while queued (or dropped by
+    {!shutdown} before it ever ran). *)
+
+type 'a handle
+(** A future for one submitted task. *)
+
+val create : ?paused:bool -> int -> t
+(** [create slots] spawns [slots >= 1] worker domains. With [~paused:true]
+    workers idle until {!start}, so a batch of tasks can be queued first
+    and then dispatched strictly in priority order.
+    @raise Invalid_argument if [slots < 1]. *)
+
+val slots : t -> int
+
+val start : t -> unit
+(** Releases a queue created with [~paused:true]. Idempotent. *)
+
+val submit : ?priority:int -> t -> (unit -> 'a) -> 'a handle
+(** Queues a task. Higher [priority] (default 0) runs first; equal
+    priorities run in submission order.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a handle -> ('a, exn) result
+(** Blocks until the task resolves. [Error Aborted] if it was aborted. *)
+
+val peek : 'a handle -> ('a, exn) result option
+(** [None] while the task is queued or running. *)
+
+val try_abort : 'a handle -> bool
+(** Aborts the task iff it is still queued; a queued task that is aborted
+    will never execute and {!await} returns [Error Aborted]. Returns
+    [false] when the task already started (or finished) — running tasks
+    must be cancelled cooperatively by the caller's own flag. *)
+
+val pending : t -> int
+(** Tasks submitted and not yet resolved (queued + running). *)
+
+val wait_idle : t -> unit
+(** Blocks until every submitted task has resolved (starting the queue if
+    it was paused). *)
+
+val shutdown : t -> unit
+(** Waits for running tasks, drops queued ones (their handles resolve to
+    [Error Aborted]) and joins the slot domains. Idempotent. Call
+    {!wait_idle} first to drain instead of drop. *)
+
+val with_queue : ?paused:bool -> int -> (t -> 'a) -> 'a
+(** Bracket: create, apply, always shut down. *)

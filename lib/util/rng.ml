@@ -61,3 +61,15 @@ let shuffle t a =
 let split t =
   let seed = Int64.to_int (Int64.shift_right_logical (next t) 2) in
   create seed
+
+let derive seed index =
+  if index < 0 then invalid_arg "Rng.derive: index must be >= 0";
+  (* One golden-ratio stride per index keeps distinct (seed, index) pairs
+     on distinct splitmix streams, then one splitmix step mixes the pair;
+     the shift keeps the result a nonnegative OCaml int. *)
+  let st =
+    ref
+      (Int64.add (Int64.of_int seed)
+         (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L))
+  in
+  Int64.to_int (Int64.shift_right_logical (splitmix64 st) 2)

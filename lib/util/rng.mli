@@ -33,3 +33,9 @@ val shuffle : t -> 'a array -> unit
 val split : t -> t
 (** [split t] advances [t] and returns a generator with a decorrelated
     stream; used to hand independent streams to parallel workers. *)
+
+val derive : int -> int -> int
+(** [derive seed index] is a stateless splitmix64-mixed sub-seed for the
+    [index]-th item under a base [seed]: manifest jobs without an explicit
+    seed get [derive base line_index], so a whole batch is reproducible
+    from one number. Always nonnegative; [index >= 0] required. *)

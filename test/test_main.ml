@@ -26,4 +26,7 @@ let () =
          Test_cross_engine.suite;
          Test_differential.suite;
          Test_obs.suite;
-         Test_analysis.suite ])
+         Test_analysis.suite;
+         Test_taskq.suite;
+         Test_sched.suite;
+         Test_manifest.suite ])

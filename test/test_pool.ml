@@ -161,6 +161,47 @@ let test_repeated_exceptions () =
       Pool.run pool (fun _ -> Atomic.incr acc);
       Alcotest.(check int) "clean job after 10 failures" 4 (Atomic.get acc))
 
+let test_concurrent_callers_share_pool () =
+  (* Several domains driving the same pool at once: the admission mutex
+     must serialize whole jobs, so every parallel_for still executes each
+     index exactly once and the totals add up. *)
+  Pool.with_pool 3 (fun pool ->
+      let total = Atomic.make 0 in
+      let callers =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 25 do
+                  Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ -> Atomic.incr total)
+                done))
+      in
+      List.iter Domain.join callers;
+      Alcotest.(check int) "4 callers x 25 jobs x 100 iterations" 10_000
+        (Atomic.get total))
+
+let test_concurrent_caller_exceptions_isolated () =
+  (* A failing job from one caller must not leak its exception into a
+     concurrent caller's job. *)
+  Pool.with_pool 2 (fun pool ->
+      let ok = Atomic.make 0 in
+      let failures = Atomic.make 0 in
+      let callers =
+        List.init 3 (fun c ->
+            Domain.spawn (fun () ->
+                for round = 1 to 20 do
+                  if c = 0 && round mod 2 = 0 then
+                    (try Pool.run pool (fun _ -> failwith "bad job") with
+                     | Failure m when m = "bad job" -> Atomic.incr failures)
+                  else begin
+                    Pool.run pool (fun _ -> ());
+                    Atomic.incr ok
+                  end
+                done))
+      in
+      List.iter Domain.join callers;
+      Alcotest.(check int) "every failing job raised in its own caller" 10
+        (Atomic.get failures);
+      Alcotest.(check int) "clean jobs unaffected" 50 (Atomic.get ok))
+
 let suite =
   [ ( "pool",
       [ Alcotest.test_case "run covers all workers" `Quick test_run_covers_all_workers;
@@ -184,4 +225,8 @@ let suite =
         Alcotest.test_case "exception in parallel_for" `Quick
           test_exception_in_parallel_for;
         Alcotest.test_case "repeated worker exceptions" `Quick
-          test_repeated_exceptions ] ) ]
+          test_repeated_exceptions;
+        Alcotest.test_case "concurrent callers share one pool" `Quick
+          test_concurrent_callers_share_pool;
+        Alcotest.test_case "concurrent caller exceptions isolated" `Quick
+          test_concurrent_caller_exceptions_isolated ] ) ]

@@ -75,6 +75,30 @@ let test_split_independence () =
   done;
   Alcotest.(check bool) "split stream differs" true (!same < 4)
 
+let test_derive () =
+  Alcotest.(check int) "deterministic" (Rng.derive 42 7) (Rng.derive 42 7);
+  let seen = Hashtbl.create 256 in
+  for base = 0 to 3 do
+    for i = 0 to 63 do
+      let s = Rng.derive base i in
+      Alcotest.(check bool) "nonnegative" true (s >= 0);
+      Hashtbl.replace seen s ()
+    done
+  done;
+  Alcotest.(check int) "all (base, index) pairs distinct" 256 (Hashtbl.length seen);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.derive: index must be >= 0") (fun () ->
+      ignore (Rng.derive 1 (-1)))
+
+let test_derive_streams_differ () =
+  (* Streams seeded from adjacent derived seeds must decorrelate. *)
+  let a = Rng.create (Rng.derive 5 0) and b = Rng.create (Rng.derive 5 1) in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "derived streams differ" true (!same < 4)
+
 let test_bool_balance () =
   let rng = Rng.create 29 in
   let trues = ref 0 in
@@ -94,4 +118,7 @@ let suite =
         Alcotest.test_case "angle range" `Quick test_angle;
         Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
         Alcotest.test_case "split independence" `Quick test_split_independence;
+        Alcotest.test_case "derive sub-seeds" `Quick test_derive;
+        Alcotest.test_case "derived streams decorrelate" `Quick
+          test_derive_streams_differ;
         Alcotest.test_case "bool balance" `Quick test_bool_balance ] ) ]

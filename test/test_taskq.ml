@@ -1,0 +1,117 @@
+(* Taskq: priority/FIFO dispatch order, futures, abort, shutdown. *)
+
+let test_basic_submit_await () =
+  Taskq.with_queue 2 (fun q ->
+      let h = Taskq.submit q (fun () -> 6 * 7) in
+      match Taskq.await h with
+      | Ok v -> Alcotest.(check int) "result" 42 v
+      | Error e -> Alcotest.failf "unexpected error %s" (Printexc.to_string e))
+
+let test_exception_captured () =
+  Taskq.with_queue 1 (fun q ->
+      let h = Taskq.submit q (fun () -> failwith "boom") in
+      (match Taskq.await h with
+       | Error (Failure m) -> Alcotest.(check string) "message" "boom" m
+       | _ -> Alcotest.fail "expected Failure");
+      (* The slot survives a raising task. *)
+      let h2 = Taskq.submit q (fun () -> 1) in
+      Alcotest.(check bool) "slot alive" true (Taskq.await h2 = Ok 1))
+
+let test_priority_order () =
+  (* One paused slot: queue everything first, then dispatch — execution
+     must follow (priority desc, submission asc). *)
+  Taskq.with_queue ~paused:true 1 (fun q ->
+      let order = ref [] in
+      let submit name priority =
+        ignore
+          (Taskq.submit ~priority q (fun () -> order := name :: !order))
+      in
+      submit "low-a" 0;
+      submit "high-a" 5;
+      submit "mid" 2;
+      submit "high-b" 5;
+      submit "low-b" 0;
+      Taskq.wait_idle q;
+      Alcotest.(check (list string)) "dispatch order"
+        [ "high-a"; "high-b"; "mid"; "low-a"; "low-b" ]
+        (List.rev !order))
+
+let test_fifo_within_priority () =
+  Taskq.with_queue ~paused:true 1 (fun q ->
+      let order = ref [] in
+      for i = 0 to 19 do
+        ignore (Taskq.submit q (fun () -> order := i :: !order))
+      done;
+      Taskq.wait_idle q;
+      Alcotest.(check (list int)) "fifo" (List.init 20 Fun.id) (List.rev !order))
+
+let test_abort_queued () =
+  Taskq.with_queue ~paused:true 1 (fun q ->
+      let ran = ref false in
+      let h = Taskq.submit q (fun () -> ran := true) in
+      Alcotest.(check bool) "abort succeeds while queued" true (Taskq.try_abort h);
+      Alcotest.(check bool) "second abort is a no-op" false (Taskq.try_abort h);
+      Taskq.start q;
+      Taskq.wait_idle q;
+      Alcotest.(check bool) "task never ran" false !ran;
+      Alcotest.(check bool) "await sees abort" true (Taskq.await h = Error Taskq.Aborted))
+
+let test_abort_running_fails () =
+  Taskq.with_queue 1 (fun q ->
+      let gate = Atomic.make false in
+      let entered = Atomic.make false in
+      let h =
+        Taskq.submit q (fun () ->
+            Atomic.set entered true;
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done)
+      in
+      while not (Atomic.get entered) do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check bool) "cannot abort running" false (Taskq.try_abort h);
+      Atomic.set gate true;
+      Alcotest.(check bool) "completes" true (Taskq.await h = Ok ()))
+
+let test_pending_and_wait_idle () =
+  Taskq.with_queue ~paused:true 2 (fun q ->
+      for _ = 1 to 8 do
+        ignore (Taskq.submit q (fun () -> ()))
+      done;
+      Alcotest.(check int) "pending while paused" 8 (Taskq.pending q);
+      Taskq.wait_idle q;
+      Alcotest.(check int) "drained" 0 (Taskq.pending q))
+
+let test_shutdown_drops_queued () =
+  let q = Taskq.create ~paused:true 1 in
+  let h = Taskq.submit q (fun () -> ()) in
+  Taskq.shutdown q;
+  Alcotest.(check bool) "queued task aborted by shutdown" true
+    (Taskq.await h = Error Taskq.Aborted);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Taskq.submit: queue is shut down") (fun () ->
+      ignore (Taskq.submit q (fun () -> ())))
+
+let test_many_tasks_all_run () =
+  Taskq.with_queue 4 (fun q ->
+      let acc = Atomic.make 0 in
+      let handles =
+        List.init 200 (fun i ->
+            Taskq.submit ~priority:(i mod 3) q (fun () ->
+                Atomic.fetch_and_add acc i))
+      in
+      List.iter (fun h -> ignore (Taskq.await h)) handles;
+      Alcotest.(check int) "sum of indices" (200 * 199 / 2) (Atomic.get acc))
+
+let suite =
+  [ ( "taskq",
+      [ Alcotest.test_case "submit and await" `Quick test_basic_submit_await;
+        Alcotest.test_case "exception captured in handle" `Quick test_exception_captured;
+        Alcotest.test_case "priority order" `Quick test_priority_order;
+        Alcotest.test_case "fifo within a priority" `Quick test_fifo_within_priority;
+        Alcotest.test_case "abort queued task" `Quick test_abort_queued;
+        Alcotest.test_case "abort running task fails" `Quick test_abort_running_fails;
+        Alcotest.test_case "pending and wait_idle" `Quick test_pending_and_wait_idle;
+        Alcotest.test_case "shutdown drops queued" `Quick test_shutdown_drops_queued;
+        Alcotest.test_case "many tasks all run" `Quick test_many_tasks_all_run ] ) ]
