@@ -65,8 +65,8 @@ let print_top_amplitudes buf count =
       Printf.printf "  |%d>  %s  (p=%.6f)\n" i (Cnum.to_string a) (Cnum.norm2 a)
   done
 
-let run engine family qasm n gates seed threads beta epsilon fusion trace top export
-    metrics metrics_json =
+let run engine family qasm n gates seed threads beta epsilon fusion dispatch trace top
+    export metrics metrics_json =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
@@ -88,7 +88,7 @@ let run engine family qasm n gates seed threads beta epsilon fusion trace top ex
      | Flatdd_engine ->
        let cfg =
          { Config.default with
-           Config.threads; beta; epsilon; fusion; trace }
+           Config.threads; beta; epsilon; fusion; trace; dense_dispatch = dispatch }
        in
        let r, dt = Timer.time (fun () -> Simulator.simulate cfg circuit) in
        Printf.printf "engine: flatdd (%d threads, beta=%.2f eps=%.2f)\n" threads beta epsilon;
@@ -100,7 +100,18 @@ let run engine family qasm n gates seed threads beta epsilon fusion trace top ex
           Printf.printf "conversion: after gate %d\n" i;
           Printf.printf "dmav kernels: %d cached, %d uncached (%d cache hits)\n"
             r.Simulator.dmav_gates_cached r.Simulator.dmav_gates_uncached
-            r.Simulator.dmav_cache_hits);
+            r.Simulator.dmav_cache_hits;
+          if dispatch then begin
+            let flat_total =
+              match r.Simulator.fusion_stats with
+              | Some s -> s.Fusion.gates_out
+              | None -> r.Simulator.gates - i - 1
+            in
+            Printf.printf "dispatch: %d dense direct, %d dmav\n"
+              (flat_total - r.Simulator.dmav_gates_cached
+               - r.Simulator.dmav_gates_uncached)
+              (r.Simulator.dmav_gates_cached + r.Simulator.dmav_gates_uncached)
+          end);
        Printf.printf "peak memory (modeled): %.2f MB\n"
          (float_of_int r.Simulator.peak_memory_bytes /. 1048576.0);
        (match r.Simulator.fusion_stats with
@@ -117,7 +128,12 @@ let run engine family qasm n gates seed threads beta epsilon fusion trace top ex
                  | Simulator.Dd_phase -> "dd"
                  | Simulator.Conversion -> "convert"
                  | Simulator.Dmav_phase ->
-                   if g.Simulator.cached = Some true then "dmav+cache" else "dmav")
+                   (match g.Simulator.dispatch with
+                    | Some Simulator.Dense_direct -> "dense"
+                    | Some Simulator.Dmav_cached -> "dmav+cache"
+                    | Some Simulator.Dmav_uncached -> "dmav"
+                    | None ->
+                      if g.Simulator.cached = Some true then "dmav+cache" else "dmav"))
                 g.Simulator.seconds g.Simulator.dd_size g.Simulator.ewma)
            r.Simulator.trace;
        if top > 0 then print_top_amplitudes (Simulator.amplitudes r) top
@@ -184,6 +200,12 @@ let cmd =
   let fusion =
     Arg.(value & opt fusion_conv Config.No_fusion & info [ "fusion" ] ~doc:"Gate fusion: none, dmav, or an integer k for k-operations.")
   in
+  let dispatch =
+    Arg.(value & flag
+         & info [ "dispatch" ]
+             ~doc:"Per-gate kernel dispatch in the flat phase: unfused gates may run on \
+                   the dense direct kernel when the cost model favors it over DMAV.")
+  in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-gate trace.") in
   let top = Arg.(value & opt int 8 & info [ "top" ] ~doc:"Print the k most likely basis states (0 disables).") in
   let export =
@@ -200,7 +222,7 @@ let cmd =
   in
   let term =
     Term.(const run $ engine $ family $ qasm $ n $ gates $ seed $ threads $ beta
-          $ epsilon $ fusion $ trace $ top $ export $ metrics $ metrics_json)
+          $ epsilon $ fusion $ dispatch $ trace $ top $ export $ metrics $ metrics_json)
   in
   Cmd.v (Cmd.info "flatdd" ~doc:"Hybrid decision-diagram / flat-array quantum circuit simulator") term
 

@@ -118,3 +118,46 @@ let decide ~n ~threads ~simd_width root =
   { cached = c2 < c1; c1; c2; threads_used = tu }
 
 let modeled_macs d = float_of_int d.threads_used *. Float.min d.c1 d.c2
+
+(* Dense direct application touches every amplitude with a fixed-size
+   matrix: 2ⁿ⁻¹ pairs × 4 complex MACs for a single-qubit gate, 2ⁿ⁻² quads
+   × 16 for a two-qubit one — so 2ⁿ⁺¹ and 2ⁿ⁺² MACs regardless of the
+   gate's sparsity. *)
+let dense_direct_macs ~n (op : Circuit.op) =
+  let dim = Float.pow 2.0 (float_of_int n) in
+  match op with
+  | Circuit.Single _ -> 2.0 *. dim
+  | Circuit.Two _ -> 4.0 *. dim
+
+type kernel = Dmav_kernel | Dense_kernel
+
+type dispatch = {
+  kernel : kernel;
+  dmav : decision;
+  dense_c : float option;  (** per-thread dense cost; [None] when ineligible *)
+}
+
+(* The dense kernels are branch-free stride-1 array loops, the shape the
+   model already charges at SIMD width [d] (block scales, buffer sums), so
+   dense direct costs [2ⁿ⁺¹/(d·t)] or [2ⁿ⁺²/(d·t)]. The Run recursion's
+   MACs are pointer-chasing DD traversals and stay at scalar rate, exactly
+   as in C₁/C₂. An op is only eligible when the original circuit operation
+   survived to the flat phase, i.e. the gate was not fused. *)
+let dispatch ~n ~threads ~simd_width ?op root =
+  let dmav = decide ~n ~threads ~simd_width root in
+  match op with
+  | None -> { kernel = Dmav_kernel; dmav; dense_c = None }
+  | Some op ->
+    let t = float_of_int dmav.threads_used in
+    let d = float_of_int (Int.max 1 simd_width) in
+    let dense_c = dense_direct_macs ~n op /. (d *. t) in
+    let kernel =
+      if dense_c < Float.min dmav.c1 dmav.c2 then Dense_kernel else Dmav_kernel
+    in
+    { kernel; dmav; dense_c = Some dense_c }
+
+let dispatch_modeled_macs disp =
+  match disp with
+  | { kernel = Dense_kernel; dense_c = Some c; dmav } ->
+    float_of_int dmav.threads_used *. c
+  | { dmav; _ } -> modeled_macs dmav

@@ -55,3 +55,33 @@ val decide : n:int -> threads:int -> simd_width:int -> Dd.medge -> decision
 val modeled_macs : decision -> float
 (** [min C₁ C₂ × t] — the modeled MAC work of the chosen kernel, the
     quantity Table 2 reports as "Cost". *)
+
+(** {1 Per-gate kernel dispatch (DMAV vs dense direct apply)} *)
+
+val dense_direct_macs : n:int -> Circuit.op -> float
+(** Modeled MACs of applying [op] with the dense direct kernels
+    ([Apply.single] / [Apply.two]): [2ⁿ⁺¹] for a single-qubit gate,
+    [2ⁿ⁺²] for a two-qubit one — dense kernels touch every amplitude
+    regardless of gate sparsity. *)
+
+type kernel = Dmav_kernel | Dense_kernel
+
+type dispatch = {
+  kernel : kernel;    (** the cheaper kernel under the model *)
+  dmav : decision;    (** the DMAV-side decision, reusable by the kernel *)
+  dense_c : float option;
+  (** modeled per-thread cost of dense direct application; [None] when the
+      gate is fused (no original circuit op) and thus DMAV-only *)
+}
+
+val dispatch :
+  n:int -> threads:int -> simd_width:int -> ?op:Circuit.op -> Dd.medge -> dispatch
+(** Extends {!decide} with the dense direct-apply alternative: dense
+    kernels are stride-1 branch-free loops charged at SIMD width [d]
+    (like the model's block operations), DD-traversal MACs at scalar
+    rate. Dense is only eligible when [op] is given — a fused matrix has
+    no dense kernel. *)
+
+val dispatch_modeled_macs : dispatch -> float
+(** Modeled MAC work of the dispatched kernel ([t × C] of whichever side
+    won), the dispatch-aware analogue of {!modeled_macs}. *)

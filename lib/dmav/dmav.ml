@@ -146,6 +146,17 @@ let apply_nocache ~pool ~n root ~v ~w =
 type workspace = { ws_n : int; mutable free : Buf.t list }
 
 let workspace ~n = { ws_n = n; free = [] }
+let workspace_n ws = ws.ws_n
+let free_buffers ws = List.length ws.free
+
+let take ws =
+  match ws.free with
+  | b :: rest ->
+    ws.free <- rest;
+    b
+  | [] -> Buf.create (1 lsl ws.ws_n)
+
+let give ws b = if Buf.length b = 1 lsl ws.ws_n then ws.free <- b :: ws.free
 
 let take_buffer ws n =
   match ws with
@@ -173,14 +184,25 @@ let apply_cache ?workspace ~pool ~n root ~v ~w =
   let blocks = Array.map (List.map (fun task -> task.start)) tasks in
   let v_b, n_buffers = Cost.allocate_buffers blocks in
   let bufs = Array.init n_buffers (fun _ -> take_buffer workspace n) in
-  (* Occupied blocks per buffer, for targeted zeroing and summation. *)
+  (* Occupied blocks per buffer, for targeted zeroing and summation. The
+     membership test runs once per (thread, block) pair, so it must be
+     O(1): a per-buffer seen-set instead of scanning the accumulated list,
+     which is quadratic in the block count when many threads share a
+     buffer. *)
   let occupied = Array.make n_buffers [] in
+  let occ_seen : (int, unit) Hashtbl.t array =
+    Array.init n_buffers (fun _ -> Hashtbl.create 16)
+  in
   Array.iteri
     (fun u blks ->
+       let bi = v_b.(u) in
+       let seen = occ_seen.(bi) in
        List.iter
          (fun b ->
-            if not (List.mem b occupied.(v_b.(u)))
-            then occupied.(v_b.(u)) <- b :: occupied.(v_b.(u)))
+            if not (Hashtbl.mem seen b) then begin
+              Hashtbl.replace seen b ();
+              occupied.(bi) <- b :: occupied.(bi)
+            end)
          blks)
     blocks;
   (* Zero exactly the blocks Run will accumulate into. *)
@@ -234,8 +256,7 @@ type exec_stats = {
   buffers_used : int;
 }
 
-let apply ?workspace:ws ~pool ~simd_width ~n root ~v ~w =
-  let decision = Cost.decide ~n ~threads:(Pool.size pool) ~simd_width root in
+let apply_decided ?workspace:ws ~pool ~n decision root ~v ~w =
   if Obs.enabled () then begin
     let t = float_of_int decision.Cost.threads_used in
     Obs.fadd fc_macs_modeled (Cost.modeled_macs decision);
@@ -251,3 +272,7 @@ let apply ?workspace:ws ~pool ~simd_width ~n root ~v ~w =
         apply_nocache ~pool ~n root ~v ~w;
         { used_cache = false; decision; cache_hits = 0; buffers_used = 0 }
       end)
+
+let apply ?workspace:ws ~pool ~simd_width ~n root ~v ~w =
+  let decision = Cost.decide ~n ~threads:(Pool.size pool) ~simd_width root in
+  apply_decided ?workspace:ws ~pool ~n decision root ~v ~w

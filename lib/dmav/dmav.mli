@@ -19,10 +19,23 @@
     model. *)
 
 type workspace
-(** Reusable partial-output buffers, so repeated cached applications do
-    not reallocate 2ⁿ-sized vectors per gate. *)
+(** A free list of reusable 2ⁿ-sized buffers: the cached kernel's partial
+    outputs, and the flat engine's scratch vector, so repeated
+    applications (and batched runs sharing a workspace) do not reallocate
+    2ⁿ-sized vectors per gate or per job. *)
 
 val workspace : n:int -> workspace
+val workspace_n : workspace -> int
+
+val take : workspace -> Buf.t
+(** Pops a free buffer, or allocates a fresh zero one. A popped buffer's
+    contents are unspecified; every kernel here zeroes what it reads. *)
+
+val give : workspace -> Buf.t -> unit
+(** Returns a buffer to the free list (ignored if the size mismatches). *)
+
+val free_buffers : workspace -> int
+(** Buffers currently on the free list (for tests and accounting). *)
 
 type exec_stats = {
   used_cache : bool;
@@ -43,6 +56,19 @@ val apply :
 (** [apply ~pool ~simd_width ~n m ~v ~w] overwrites [w] with [m·v],
     choosing the kernel by modeled cost. [v] and [w] must be distinct
     buffers of length 2ⁿ. *)
+
+val apply_decided :
+  ?workspace:workspace ->
+  pool:Pool.t ->
+  n:int ->
+  Cost.decision ->
+  Dd.medge ->
+  v:Buf.t ->
+  w:Buf.t ->
+  exec_stats
+(** {!apply} with a precomputed kernel decision, so a caller that already
+    ran the cost model (the driver's per-gate dispatch) does not pay for
+    it twice. *)
 
 val apply_nocache : pool:Pool.t -> n:int -> Dd.medge -> v:Buf.t -> w:Buf.t -> unit
 (** Algorithm 1, unconditionally. *)

@@ -17,6 +17,7 @@ type t = {
   policy : conversion_policy;
   compact_every : int;
   trace : bool;
+  dense_dispatch : bool;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     fusion = No_fusion;
     policy = Ewma_policy;
     compact_every = 64;
-    trace = false }
+    trace = false;
+    dense_dispatch = false }
 
 let with_threads threads t = { t with threads }

@@ -19,10 +19,15 @@ type t = {
   policy : conversion_policy;
   compact_every : int;    (** DD-package GC interval in gates; 0 = never *)
   trace : bool;           (** record the per-gate trace *)
+  dense_dispatch : bool;
+  (** When set, the driver cost-models each unfused flat-phase gate and may
+      route it to the dense direct-apply kernels ([Apply.single]/[Apply.two])
+      instead of a DMAV multiplication. Off by default so the stock DMAV
+      phase stays bit-for-bit reproducible. *)
 }
 
 val default : t
 (** 1 thread, β = 0.9, ε = 2.0, d = 4, no fusion, EWMA policy,
-    compaction every 64 gates, no trace. *)
+    compaction every 64 gates, no trace, no dense dispatch. *)
 
 val with_threads : int -> t -> t

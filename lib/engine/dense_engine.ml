@@ -1,0 +1,31 @@
+(* Dense direct application as a stepwise engine: the state is a flat
+   vector and every gate runs through the [Apply] amplitude-pair kernels —
+   the "Quantum++" style baseline, now first-class behind the same ENGINE
+   signature as the DD and DMAV engines (and the kernel the flat phase's
+   dense dispatch borrows). *)
+
+type state = {
+  ctx : Engine.ctx;
+  st : State.t;
+}
+
+let name = "dense"
+let trace_phase = Engine.Dmav_phase
+
+let init (ctx : Engine.ctx) ~n = { ctx; st = State.zero_state n }
+
+let apply_op st (xo : Engine.exec_op) =
+  match xo.Engine.xo_op with
+  | None -> invalid_arg "Dense_engine.apply_op: fused matrices have no dense kernel"
+  | Some op ->
+    Apply.op ~pool:st.ctx.Engine.pool st.st op;
+    { Engine.no_stats with
+      Engine.gs_dispatch = Some Engine.Dense_direct;
+      gs_modeled_macs = Cost.dense_direct_macs ~n:st.st.State.n op }
+
+let size_metric _ = 0
+let memory_bytes st = Buf.memory_bytes st.st.State.amps
+let compact _ = ()
+let observe _ = ()
+let extract st = Engine.Flat_state st.st.State.amps
+let finalize _ = ()

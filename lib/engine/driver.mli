@@ -1,0 +1,67 @@
+(** The stepwise run driver.
+
+    [run] is the FlatDD hybrid algorithm: it steps {!Dd_engine} gate by
+    gate under the conversion policy, owns the one DD→flat transition, and
+    then steps {!Dmav_engine} over the (possibly fused) remainder, picking
+    a kernel per gate when [Config.dense_dispatch] is on. [run_engine]
+    drives any single {!Engine.ENGINE} over a whole circuit with the same
+    timed/traced/cancellable gate loop and no conversion.
+
+    Everything cross-cutting lives here: cancellation polling, trace
+    records, peak-memory tracking, the per-phase [Obs] spans and the
+    [dmav.dispatch.*] counters. Engines only apply gates. *)
+
+exception Cancelled
+(** Raised when the [cancel] poll returns [true]. Re-exported as
+    [Simulator.Cancelled]. *)
+
+type result = {
+  n : int;
+  gates : int;
+  final : Engine.final_state;
+  converted_at : int option;  (** gate index after which conversion ran *)
+  seconds_total : float;
+  seconds_dd : float;
+  seconds_convert : float;
+  seconds_dmav : float;
+  conversion_stats : Convert.stats option;
+  trace : Engine.gate_record list;  (** empty unless [config.trace] *)
+  peak_memory_bytes : int;
+  dmav_gates_cached : int;
+  dmav_gates_uncached : int;
+  dmav_cache_hits : int;
+  modeled_macs : float;       (** Σ modeled MAC work over the flat phase *)
+  fusion_stats : Fusion.stats option;
+}
+
+val run :
+  ?cancel:(unit -> bool) ->
+  ?pool:Pool.t ->
+  ?workspace:Dmav.workspace ->
+  Config.t ->
+  Circuit.t ->
+  result
+(** The hybrid DD→flat run from |0…0⟩ ({!Simulator.simulate} is a shim
+    over this). A supplied [workspace] lets serial callers (the batch
+    scheduler) reuse 2ⁿ scratch buffers across runs; it must have been
+    built for the same [n] (a mismatched one is ignored) and must not be
+    shared across concurrent runs. *)
+
+val run_engine :
+  ?cancel:(unit -> bool) ->
+  ?pool:Pool.t ->
+  ?workspace:Dmav.workspace ->
+  (module Engine.ENGINE with type state = 's) ->
+  Config.t ->
+  Circuit.t ->
+  result
+(** Runs the whole circuit on one engine — the pure-DD, pure-DMAV and
+    pure-dense reference paths. [converted_at], [conversion_stats] and
+    [fusion_stats] are always [None]; the total time lands in [seconds_dd]
+    or [seconds_dmav] according to the engine's trace phase. Flat-phase
+    kernel dispatch is a hybrid-run feature: here every DMAV gate goes
+    through the §3.2.3 cached/uncached cost model only. *)
+
+val amplitudes : result -> Buf.t
+(** Final amplitudes as a flat vector (converts sequentially if the run
+    ended in DD form). *)

@@ -1,8 +1,14 @@
-type phase = Dd_phase | Conversion | Dmav_phase
+(* Thin shim over the engine driver: the hybrid run loop, the conversion
+   policy and the per-gate bookkeeping all live in [Driver] (lib/engine);
+   this module re-exports the types so existing callers keep compiling and
+   pattern-matching against [Simulator]. *)
 
-exception Cancelled
+type phase = Engine.phase = Dd_phase | Conversion | Dmav_phase
+type dispatch = Engine.dispatch = Dmav_cached | Dmav_uncached | Dense_direct
 
-type gate_record = {
+exception Cancelled = Driver.Cancelled
+
+type gate_record = Engine.gate_record = {
   index : int;
   name : string;
   seconds : float;
@@ -10,13 +16,14 @@ type gate_record = {
   dd_size : int;
   ewma : float;
   cached : bool option;
+  dispatch : dispatch option;
 }
 
-type final_state =
+type final_state = Engine.final_state =
   | Dd_state of { package : Dd.package; edge : Dd.vedge }
   | Flat_state of Buf.t
 
-type result = {
+type result = Driver.result = {
   n : int;
   gates : int;
   final : final_state;
@@ -35,196 +42,9 @@ type result = {
   fusion_stats : Fusion.stats option;
 }
 
-let memory_bytes_flat n ~buffers = (2 + buffers) * ((16 * (1 lsl n)) + 24)
-
-(* Per-phase spans: the global metrics accumulate across runs, while each
-   run's seconds_* fields are the same measurements taken locally by
-   [Obs.timed] — one clock pair per phase, no stopwatch plumbing. *)
-let s_dd_phase = Obs.span "sim.dd_phase"
-let s_convert = Obs.span "sim.convert"
-let s_dmav_phase = Obs.span "sim.dmav_phase"
-let c_runs = Obs.counter "sim.runs"
-let c_gates = Obs.counter "sim.gates"
-let c_dd_gates = Obs.counter "sim.gates_dd"
-let c_dmav_gates = Obs.counter "sim.gates_dmav"
-let c_conversions = Obs.counter "sim.conversions"
+let memory_bytes_flat = Engine.memory_bytes_flat
 
 let simulate ?cancel ?pool (cfg : Config.t) (c : Circuit.t) =
-  let n = c.Circuit.n in
-  let gates = Circuit.num_gates c in
-  (* Cooperative cancellation: polled once per gate (and around the
-     conversion), never inside a kernel, so the check costs one closure
-     call per gate and cancellation latency is one gate application. *)
-  let check_cancel =
-    match cancel with
-    | None -> fun () -> ()
-    | Some poll -> fun () -> if poll () then raise Cancelled
-  in
-  let own_pool = pool = None in
-  let pool = match pool with Some p -> p | None -> Pool.create (Int.max 1 cfg.Config.threads) in
-  Fun.protect
-    ~finally:(fun () -> if own_pool then Pool.shutdown pool)
-    (fun () ->
-       Obs.incr c_runs;
-       Obs.add c_gates gates;
-       let p = Dd.create () in
-       let monitor = Ewma.create ~beta:cfg.Config.beta ~epsilon:cfg.Config.epsilon in
-       let trace = ref [] in
-       let record r = if cfg.Config.trace then trace := r :: !trace in
-       let peak_mem = ref 0 in
-       let bump_mem m = if m > !peak_mem then peak_mem := m in
+  Driver.run ?cancel ?pool cfg c
 
-       (* ---- DD phase ---------------------------------------------- *)
-       let state = ref (Vec_dd.zero_state p n) in
-       ignore (Ewma.observe monitor (float_of_int n));
-       let converted_at = ref None in
-       let i = ref 0 in
-       let want_convert =
-         ref (match cfg.Config.policy with Config.Convert_at k -> k < 0 | _ -> false)
-       in
-       let (), seconds_dd =
-         Obs.timed s_dd_phase (fun () ->
-             while !i < gates && not !want_convert do
-               check_cancel ();
-               let op = c.Circuit.ops.(!i) in
-               let (), dt =
-                 Timer.time (fun () ->
-                     let g = Mat_dd.of_op p ~n op in
-                     state := Dd.mv p g !state)
-               in
-               let size = Dd.vnode_count !state in
-               let verdict = Ewma.observe monitor (float_of_int size) in
-               (match cfg.Config.policy with
-                | Config.Ewma_policy -> if verdict = Ewma.Convert then want_convert := true
-                | Config.Convert_at k -> if !i >= k then want_convert := true
-                | Config.Never_convert -> ());
-               record
-                 { index = !i; name = Circuit.op_name op; seconds = dt; phase = Dd_phase;
-                   dd_size = size; ewma = Ewma.value monitor; cached = None };
-               if cfg.Config.compact_every > 0 && (!i + 1) mod cfg.Config.compact_every = 0
-               then begin
-                 bump_mem (Dd.memory_bytes p);
-                 Dd.compact p ~vroots:[ !state ] ~mroots:[]
-               end;
-               incr i
-             done)
-       in
-       Obs.add c_dd_gates !i;
-       Dd.observe_gauges p;
-       bump_mem (Dd.memory_bytes p);
-
-       (* ---- Conversion -------------------------------------------- *)
-       let conversion_stats = ref None in
-       let flat = ref None in
-       let seconds_convert =
-         if !want_convert && !i <= gates then begin
-           check_cancel ();
-           Obs.incr c_conversions;
-           let buf_stats, dt =
-             Obs.timed s_convert (fun () -> Convert.parallel ~pool ~n !state)
-           in
-           let buf, stats = buf_stats in
-           conversion_stats := Some stats;
-           converted_at := Some (!i - 1);
-           flat := Some buf;
-           record
-             { index = !i - 1; name = "dd->array"; seconds = dt;
-               phase = Conversion; dd_size = 0; ewma = Ewma.value monitor; cached = None };
-           (* The vector DD is dead; keep only what the matrix side reuses. *)
-           state := Dd.vzero;
-           Dd.compact p ~vroots:[] ~mroots:[];
-           dt
-         end
-         else 0.0
-       in
-
-       (* ---- DMAV phase -------------------------------------------- *)
-       let cached_gates = ref 0 and uncached_gates = ref 0 and cache_hits = ref 0 in
-       let modeled = ref 0.0 in
-       let fusion_stats = ref None in
-       let seconds_dmav =
-         match !flat with
-         | None -> 0.0
-         | Some buf ->
-           let (), dt =
-             Obs.timed s_dmav_phase (fun () ->
-                 let remaining =
-                   Array.to_list (Array.sub c.Circuit.ops !i (gates - !i))
-                 in
-                 let mats =
-                   List.map (fun op -> (Circuit.op_name op, Mat_dd.of_op p ~n op)) remaining
-                 in
-                 let mats =
-                   match cfg.Config.fusion with
-                   | Config.No_fusion -> mats
-                   | Config.Dmav_aware ->
-                     let fused, st = Fusion.dmav_aware p (List.map snd mats) in
-                     fusion_stats := Some st;
-                     List.map (fun m -> ("fused", m)) fused
-                   | Config.K_operations k ->
-                     let fused, st = Fusion.k_operations p ~k (List.map snd mats) in
-                     fusion_stats := Some st;
-                     List.map (fun m -> ("kops", m)) fused
-                 in
-                 Obs.add c_dmav_gates (List.length mats);
-                 let v = ref buf in
-                 let w = ref (Buf.create (1 lsl n)) in
-                 let ws = Dmav.workspace ~n in
-                 let max_buffers = ref 0 in
-                 List.iteri
-                   (fun j (name, m) ->
-                      check_cancel ();
-                      let stats = ref None in
-                      let (), dt =
-                        Timer.time (fun () ->
-                            stats :=
-                              Some
-                                (Dmav.apply ~workspace:ws ~pool
-                                   ~simd_width:cfg.Config.simd_width ~n m ~v:!v ~w:!w))
-                      in
-                      let s = Option.get !stats in
-                      if s.Dmav.used_cache then incr cached_gates else incr uncached_gates;
-                      cache_hits := !cache_hits + s.Dmav.cache_hits;
-                      if s.Dmav.buffers_used > !max_buffers then max_buffers := s.Dmav.buffers_used;
-                      modeled := !modeled +. Cost.modeled_macs s.Dmav.decision;
-                      record
-                        { index = !i + j; name; seconds = dt; phase = Dmav_phase;
-                          dd_size = 0; ewma = Ewma.value monitor;
-                          cached = Some s.Dmav.used_cache };
-                      let tmp = !v in
-                      v := !w;
-                      w := tmp)
-                   mats;
-                 flat := Some !v;
-                 bump_mem (memory_bytes_flat n ~buffers:!max_buffers + Dd.memory_bytes p))
-           in
-           Dd.observe_gauges p;
-           dt
-       in
-
-       let final =
-         match !flat with
-         | Some buf -> Flat_state buf
-         | None -> Dd_state { package = p; edge = !state }
-       in
-       { n;
-         gates;
-         final;
-         converted_at = !converted_at;
-         seconds_total = seconds_dd +. seconds_convert +. seconds_dmav;
-         seconds_dd;
-         seconds_convert;
-         seconds_dmav;
-         conversion_stats = !conversion_stats;
-         trace = List.rev !trace;
-         peak_memory_bytes = !peak_mem;
-         dmav_gates_cached = !cached_gates;
-         dmav_gates_uncached = !uncached_gates;
-         dmav_cache_hits = !cache_hits;
-         modeled_macs = !modeled;
-         fusion_stats = !fusion_stats })
-
-let amplitudes r =
-  match r.final with
-  | Flat_state buf -> buf
-  | Dd_state { edge; _ } -> Convert.sequential ~n:r.n edge
+let amplitudes = Driver.amplitudes

@@ -6,14 +6,23 @@
     array with the parallel converter and the remaining gates execute as
     DMAV multiplications — optionally fused first — each choosing the
     cached or uncached kernel by the cost model. Regular circuits never
-    trigger the conversion and finish entirely in DD form. *)
+    trigger the conversion and finish entirely in DD form.
 
-type phase = Dd_phase | Conversion | Dmav_phase
+    This module is a thin shim over {!Driver.run}: the stepwise gate loop,
+    the conversion transition and the per-gate kernel dispatch live in the
+    engine library; the types below are re-exports so callers can keep
+    matching on [Simulator.…]. *)
+
+type phase = Engine.phase = Dd_phase | Conversion | Dmav_phase
+
+type dispatch = Engine.dispatch = Dmav_cached | Dmav_uncached | Dense_direct
+(** Which kernel executed a flat-phase gate (see {!Config.dense_dispatch}). *)
 
 exception Cancelled
-(** Raised by {!simulate} when its [cancel] poll returns [true]. *)
+(** Raised by {!simulate} when its [cancel] poll returns [true].
+    (Same exception as [Driver.Cancelled].) *)
 
-type gate_record = {
+type gate_record = Engine.gate_record = {
   index : int;            (** index into the (possibly fused) gate stream *)
   name : string;
   seconds : float;
@@ -21,13 +30,14 @@ type gate_record = {
   dd_size : int;          (** state DD nodes (DD phase only; 0 after) *)
   ewma : float;           (** monitor value when this gate finished *)
   cached : bool option;   (** DMAV kernel choice, when applicable *)
+  dispatch : dispatch option;  (** flat-phase kernel dispatch, when applicable *)
 }
 
-type final_state =
+type final_state = Engine.final_state =
   | Dd_state of { package : Dd.package; edge : Dd.vedge }
   | Flat_state of Buf.t
 
-type result = {
+type result = Driver.result = {
   n : int;
   gates : int;
   final : final_state;

@@ -92,13 +92,3 @@ let run ?pool (c : Circuit.t) =
   let st = State.zero_state c.Circuit.n in
   circuit ?pool st c;
   st
-
-let run_traced ?pool (c : Circuit.t) =
-  let st = State.zero_state c.Circuit.n in
-  let times = Array.make (Circuit.num_gates c) 0.0 in
-  Array.iteri
-    (fun i o ->
-       let (), dt = Timer.time (fun () -> op ?pool st o) in
-       times.(i) <- dt)
-    c.Circuit.ops;
-  (st, times)

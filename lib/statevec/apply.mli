@@ -21,8 +21,7 @@ val circuit : ?pool:Pool.t -> State.t -> Circuit.t -> unit
 (** Applies every operation in order. *)
 
 val run : ?pool:Pool.t -> Circuit.t -> State.t
-(** [run c] simulates [c] from |0…0⟩ — the "Quantum++" baseline engine. *)
-
-val run_traced : ?pool:Pool.t -> Circuit.t -> State.t * float array
-(** Like {!run} but also returns per-gate wall-clock seconds, used by the
-    per-gate runtime figures. *)
+(** [run c] simulates [c] from |0…0⟩ — the "Quantum++" baseline engine.
+    For a per-gate timed run, use [Driver.run_engine] over the dense
+    engine with [trace] enabled — the timing loop lives in the driver's
+    unified trace path, not here. *)

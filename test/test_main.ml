@@ -21,6 +21,7 @@ let () =
          Test_dmav.suite;
          Test_fusion.suite;
          Test_ewma.suite;
+         Test_engine.suite;
          Test_flatdd.suite;
          Test_extras.suite;
          Test_cross_engine.suite;
