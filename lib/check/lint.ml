@@ -1,0 +1,228 @@
+(* The rule framework: sources, findings, suppressions, the allowlist,
+   iterator composition and the two output formats. Rules live in
+   Lint_rules; the CLI driver in tools/lint. *)
+
+type severity = Info | Warning | Error
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type source = { path : string; text : string; lines : string array }
+
+type ctx = { src : source; emit : finding -> unit }
+
+type rule = {
+  name : string;
+  severity : severity;
+  doc : string;
+  ast : (ctx -> Ast_iterator.iterator -> Ast_iterator.iterator) option;
+  text : (ctx -> unit) option;
+}
+
+let report ctx ~rule ?severity ~loc message =
+  let p = loc.Location.loc_start in
+  ctx.emit
+    { rule = rule.name;
+      severity = (match severity with Some s -> s | None -> rule.severity);
+      file = ctx.src.path;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      message }
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [(* qcs-lint: allow rule-a rule-b *)] suppresses findings of the named
+   rules on the comment's own line and on the line below it, so the
+   comment reads naturally either inline or on its own line above the
+   flagged code. The scan is textual (the parser drops comments), which
+   also means a suppression inside a string literal is honored — harmless
+   in practice and much simpler than re-lexing. *)
+let marker = "qcs-lint: allow"
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let contains_at hay pos needle =
+  pos + String.length needle <= String.length hay
+  && String.sub hay pos (String.length needle) = needle
+
+let find_substring hay needle =
+  let n = String.length hay in
+  let rec go i = if i >= n then None else if contains_at hay i needle then Some i else go (i + 1) in
+  go 0
+
+(* (line, rule) pairs; rule "all" suppresses every rule on that line. *)
+let suppressions lines =
+  let out = ref [] in
+  Array.iteri
+    (fun i line ->
+       match find_substring line marker with
+       | None -> ()
+       | Some pos ->
+         let rest = String.sub line (pos + String.length marker)
+             (String.length line - pos - String.length marker) in
+         let rest =
+           match find_substring rest "*)" with
+           | Some stop -> String.sub rest 0 stop
+           | None -> rest
+         in
+         (* Keep only leading rule-name-shaped words so a trailing prose
+            justification ("— the lock is released around …") does not
+            register bogus rule names. *)
+         let is_rule_word w =
+           String.for_all
+             (function 'a' .. 'z' | '0' .. '9' | '-' | '*' -> true | _ -> false)
+             w
+         in
+         let rec take = function
+           | w :: rest when is_rule_word w -> w :: take rest
+           | _ -> []
+         in
+         List.iter (fun r -> out := (i + 1, r) :: !out) (take (split_words rest)))
+    lines;
+  !out
+
+let suppressed supp (f : finding) =
+  List.exists
+    (fun (line, r) ->
+       (line = f.line || line = f.line - 1) && (r = f.rule || r = "all" || r = "*"))
+    supp
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let normalize_path p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let load_allow path =
+  In_channel.with_open_text path (fun ic ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some line ->
+          let line =
+            match String.index_opt line '#' with
+            | Some i -> String.sub line 0 i
+            | None -> line
+          in
+          (match split_words line with
+           | [ rule; prefix ] -> go ((rule, normalize_path prefix) :: acc)
+           | [] -> go acc
+           | _ ->
+             invalid_arg
+               (Printf.sprintf "%s: malformed allowlist line %S (want: <rule> <path-prefix>)"
+                  path line))
+      in
+      go [])
+
+let allowed allow rule path =
+  let path = normalize_path path in
+  List.exists
+    (fun (r, prefix) ->
+       (r = rule || r = "*") && String.starts_with ~prefix path)
+    allow
+
+(* ------------------------------------------------------------------ *)
+(* Running rules over one file                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception Syntaxerr.Error err ->
+    let loc = Syntaxerr.location_of_error err in
+    Error (loc.Location.loc_start.Lexing.pos_lnum, "syntax error")
+  | exception Lexer.Error (_, loc) ->
+    Error (loc.Location.loc_start.Lexing.pos_lnum, "lexical error")
+
+let compare_finding a b =
+  match compare a.line b.line with
+  | 0 -> (match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+  | c -> c
+
+let lint_source ~rules ~allow ~path text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let src = { path = normalize_path path; text; lines } in
+  let supp = suppressions lines in
+  let findings = ref [] in
+  let emit f =
+    if not (allowed allow f.rule f.file) && not (suppressed supp f) then
+      findings := f :: !findings
+  in
+  let ctx = { src; emit } in
+  List.iter (fun r -> match r.text with Some scan -> scan ctx | None -> ()) rules;
+  (match parse src.path text with
+   | Ok str ->
+     let it =
+       List.fold_left
+         (fun it r -> match r.ast with Some extend -> extend ctx it | None -> it)
+         Ast_iterator.default_iterator rules
+     in
+     it.Ast_iterator.structure it str
+   | Error (line, msg) ->
+     (* A file the analyzer cannot read is itself an error finding, so a
+        broken source never silently passes the lint gate. *)
+     emit { rule = "parse-error"; severity = Error; file = src.path; line; col = 0;
+            message = msg });
+  List.sort compare_finding !findings
+
+let lint_file ~rules ~allow path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  lint_source ~rules ~allow ~path text
+
+let has_errors findings = List.exists (fun (f : finding) -> f.severity = Error) findings
+
+let render f =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" f.file f.line f.col (severity_name f.severity)
+    f.rule f.message
+
+(* ------------------------------------------------------------------ *)
+(* qcs_lint/v1 JSON                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "qcs_lint/v1"
+
+let count sev findings =
+  List.length (List.filter (fun (f : finding) -> f.severity = sev) findings)
+
+let to_json ~files findings =
+  let jstr = Obs.Metrics.jstr in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": %s,\n" (jstr schema));
+  Buffer.add_string b (Printf.sprintf "  \"files\": %d,\n" files);
+  Buffer.add_string b (Printf.sprintf "  \"errors\": %d,\n" (count Error findings));
+  Buffer.add_string b (Printf.sprintf "  \"warnings\": %d,\n" (count Warning findings));
+  Buffer.add_string b (Printf.sprintf "  \"infos\": %d,\n" (count Info findings));
+  Buffer.add_string b "  \"findings\": [";
+  List.iteri
+    (fun i (f : finding) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Printf.sprintf
+            "\n    {\"rule\": %s, \"severity\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s}"
+            (jstr f.rule) (jstr (severity_name f.severity)) (jstr f.file) f.line f.col
+            (jstr f.message)))
+    findings;
+  if findings <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,11 @@
+(** The qcs_lint rule catalog — FlatDD's real hazards, one rule each.
+    See DESIGN.md §10 for the rationale behind every rule and the
+    allowlist/suppression story. *)
+
+val all : Lint.rule list
+(** Every rule, in catalog order: [float-eq], [obj-magic],
+    [unsafe-array], [catchall-exn], [mutex-discipline],
+    [naked-hashtbl-in-parallel], [printf-in-lib], [todo-marker]. *)
+
+val find : string -> Lint.rule option
+(** Look a rule up by name. *)

@@ -30,7 +30,7 @@ let error_ops rng model q =
 
 let sample_trajectory ?rng model (c : Circuit.t) =
   let rng = match rng with Some r -> r | None -> Rng.create 1 in
-  if model.depolarizing = 0.0 && model.dephasing = 0.0 then c
+  if Float.equal model.depolarizing 0.0 && Float.equal model.dephasing 0.0 then c
   else begin
     let ops = ref [] in
     Array.iter

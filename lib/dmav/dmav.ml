@@ -135,13 +135,25 @@ let apply_nocache ~pool ~n root ~v ~w =
   let tasks = assign_rows ~n ~t root in
   Buf.fill_zero w;
   let vd = v.Buf.data and wd = w.Buf.data in
+  (* Check mode: each worker claims its W stripe on a region scoped to
+     this kernel call, so a task-assignment bug that lands two domains on
+     the same output rows is reported as a race. *)
+  let claim =
+    if Check.enabled () then begin
+      let r = Check.region ~name:"dmav.w" in
+      fun lo hi -> Check.claim r ~owner:(Domain.self () :> int) ~lo ~hi
+    end
+    else fun _ _ -> ()
+  in
   Pool.run pool (fun u ->
-      if u < t then
+      if u < t then begin
+        claim (u * h) ((u + 1) * h);
         List.iter
           (fun task ->
              run_node task.node vd wd task.start (u * h)
                task.weight.Cnum.re task.weight.Cnum.im)
-          tasks.(u))
+          tasks.(u)
+      end)
 
 type workspace = { ws_n : int; mutable free : Buf.t list }
 
@@ -156,7 +168,12 @@ let take ws =
     b
   | [] -> Buf.create (1 lsl ws.ws_n)
 
-let give ws b = if Buf.length b = 1 lsl ws.ws_n then ws.free <- b :: ws.free
+let give ws b =
+  if Buf.length b = 1 lsl ws.ws_n then begin
+    if Check.enabled () && List.memq b ws.free then
+      Check.violation "Dmav.give: buffer returned twice";
+    ws.free <- b :: ws.free
+  end
 
 let take_buffer ws n =
   match ws with
@@ -170,7 +187,14 @@ let take_buffer ws n =
 
 let return_buffers ws bufs =
   match ws with
-  | Some ws -> ws.free <- List.rev_append bufs ws.free
+  | Some ws ->
+    if Check.enabled () then
+      List.iter
+        (fun b ->
+           if List.memq b ws.free then
+             Check.violation "Dmav.return_buffers: buffer returned twice")
+        bufs;
+    ws.free <- List.rev_append bufs ws.free
   | None -> ()
 
 let apply_cache ?workspace ~pool ~n root ~v ~w =
@@ -210,6 +234,19 @@ let apply_cache ?workspace ~pool ~n root ~v ~w =
       List.iter (fun blk -> Buf.fill_zero_range bufs.(bi) ~pos:blk ~len:h) occupied.(bi));
   let hits = ref 0 in
   let hit_counts = Array.make t 0 in
+  (* Check mode: each block write is claimed on a per-buffer region, so a
+     Cost.allocate_buffers bug that shares a buffer between threads with
+     overlapping block sets surfaces as a cross-domain race. *)
+  let claim =
+    if Check.enabled () then begin
+      let regions =
+        Array.init n_buffers (fun i -> Check.region ~name:(Printf.sprintf "dmav.buf%d" i))
+      in
+      fun u blk ->
+        Check.claim regions.(v_b.(u)) ~owner:(Domain.self () :> int) ~lo:blk ~hi:(blk + h)
+    end
+    else fun _ _ -> ()
+  in
   Pool.run pool (fun u ->
       if u < t then begin
         let buf = bufs.(v_b.(u)) in
@@ -217,6 +254,7 @@ let apply_cache ?workspace ~pool ~n root ~v ~w =
         let vd = v.Buf.data and bd = buf.Buf.data in
         List.iter
           (fun task ->
+             claim u task.start;
              match Hashtbl.find_opt cache task.node.Dd.mid with
              | Some (f0, ip0) ->
                (* Same sub-matrix node, same V slice: the new block is the

@@ -162,7 +162,9 @@ let run ?cancel ?pool ?workspace (cfg : Config.t) (c : Circuit.t) =
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Pool.create (Int.max 1 cfg.Config.threads) in
   Fun.protect
-    ~finally:(fun () -> if own_pool then Pool.shutdown pool)
+    ~finally:(fun () ->
+        if own_pool then Pool.shutdown pool;
+        if Check.enabled () then Check.observe ())
     (fun () ->
        Obs.incr c_runs;
        Obs.add c_gates gates;
@@ -299,7 +301,9 @@ let run_engine (type s) ?cancel ?pool ?workspace
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Pool.create (Int.max 1 cfg.Config.threads) in
   Fun.protect
-    ~finally:(fun () -> if own_pool then Pool.shutdown pool)
+    ~finally:(fun () ->
+        if own_pool then Pool.shutdown pool;
+        if Check.enabled () then Check.observe ())
     (fun () ->
        Obs.incr c_runs;
        Obs.add c_gates gates;

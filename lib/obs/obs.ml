@@ -191,9 +191,9 @@ module Metrics = struct
 
   let all_zero snap =
     List.for_all (fun (_, v) -> v = 0) snap.counters
-    && List.for_all (fun (_, v) -> v = 0.0) snap.fcounters
+    && List.for_all (fun (_, v) -> Float.equal v 0.0) snap.fcounters
     && List.for_all (fun (_, v) -> v = 0) snap.gauges
-    && List.for_all (fun (_, s) -> s.count = 0 && s.seconds = 0.0) snap.spans
+    && List.for_all (fun (_, s) -> s.count = 0 && Float.equal s.seconds 0.0) snap.spans
 
   (* --- emission ------------------------------------------------------- *)
 
@@ -453,7 +453,7 @@ module Metrics = struct
     in
     section "counters" snap.counters (fun v -> if v = 0 then None else Some (string_of_int v));
     section "fcounters" snap.fcounters (fun v ->
-        if v = 0.0 then None else Some (Printf.sprintf "%.6g" v));
+        if Float.equal v 0.0 then None else Some (Printf.sprintf "%.6g" v));
     section "gauges" snap.gauges (fun v -> if v = 0 then None else Some (string_of_int v));
     section "spans" snap.spans (fun (s : span_value) ->
         if s.count = 0 then None

@@ -12,7 +12,21 @@ let s_admission = Obs.span "pool.admission_wait"
 let timed_apply f w =
   if Obs.enabled () then Obs.with_span s_busy (fun () -> f w) else f w
 
+(* Under FLATDD_CHECK the worker's share is bracketed (keyed by the
+   pool's identity) so the checker can refuse re-entrant admission: a
+   worker re-entering [run] on its own pool would deadlock on the
+   admission mutex, while nesting a different pool is fine. *)
+let guarded_apply ~key f w =
+  if Check.enabled () then begin
+    Check.enter_job ~key;
+    Fun.protect ~finally:(fun () -> Check.leave_job ~key) (fun () -> timed_apply f w)
+  end
+  else timed_apply f w
+
+let pool_ids = Atomic.make 0
+
 type t = {
+  id : int;                     (* process-unique, keys the re-entrancy check *)
   size : int;
   admission : Mutex.t;          (* serializes whole fork-join jobs across callers *)
   mutex : Mutex.t;
@@ -30,6 +44,9 @@ type t = {
    index, report completion. The invariant is that [job]/[generation] are
    only written while [pending = 0], so a worker never observes a torn
    job/generation pair. *)
+(* Hand-over-hand: the lock is released around the job body and retaken
+   to report completion; Fun.protect cannot express that shape, and the
+   job body itself is exception-fenced.  qcs-lint: allow mutex-discipline *)
 let worker_loop t w my_gen =
   let my_gen = ref my_gen in
   let continue = ref true in
@@ -46,7 +63,7 @@ let worker_loop t w my_gen =
       my_gen := t.generation;
       let f = match t.job with Some f -> f | None -> fun _ -> () in
       Mutex.unlock t.mutex;
-      let result = try Ok (timed_apply f w) with e -> Error e in
+      let result = try Ok (guarded_apply ~key:t.id f w) with e -> Error e in
       Mutex.lock t.mutex;
       (match result with
        | Ok () -> ()
@@ -60,7 +77,8 @@ let worker_loop t w my_gen =
 let create size =
   if size < 1 then invalid_arg "Pool.create: size must be >= 1";
   let t =
-    { size;
+    { id = Atomic.fetch_and_add pool_ids 1;
+      size;
       admission = Mutex.create ();
       mutex = Mutex.create ();
       cond_job = Condition.create ();
@@ -87,6 +105,7 @@ let run t f =
   Obs.incr c_jobs;
   if t.size = 1 then timed_apply f 0
   else begin
+    if Check.enabled () then Check.guard_admission ~what:"Pool.run" ~key:t.id;
     if Obs.enabled () then Obs.with_span s_admission (fun () -> Mutex.lock t.admission)
     else Mutex.lock t.admission;
     Fun.protect
@@ -100,7 +119,7 @@ let run t f =
          t.generation <- t.generation + 1;
          Condition.broadcast t.cond_job;
          Mutex.unlock t.mutex;
-         let caller_result = try Ok (timed_apply f 0) with e -> Error e in
+         let caller_result = try Ok (guarded_apply ~key:t.id f 0) with e -> Error e in
          Mutex.lock t.mutex;
          while t.pending > 0 do
            Condition.wait t.cond_done t.mutex
@@ -126,12 +145,26 @@ let parallel_for_ranges ?chunk t ~lo ~hi f =
     if t.size = 1 || hi - lo <= chunk then f lo hi
     else begin
       let cursor = Atomic.make lo in
+      (* Check mode: every chunk a domain receives is claimed on a region
+         scoped to this dispatch, so a cursor bug handing the same index
+         range to two domains is caught as a race before [f] runs. *)
+      let claim =
+        if Check.enabled () then begin
+          let r = Check.region ~name:"pool.parallel_for" in
+          fun a b -> Check.claim r ~owner:(Domain.self () :> int) ~lo:a ~hi:b
+        end
+        else fun _ _ -> ()
+      in
       let work _w =
         let continue = ref true in
         while !continue do
           let start = Atomic.fetch_and_add cursor chunk in
           if start >= hi then continue := false
-          else f start (Int.min hi (start + chunk))
+          else begin
+            let stop = Int.min hi (start + chunk) in
+            claim start stop;
+            f start stop
+          end
         done
       in
       run t work
@@ -147,9 +180,11 @@ let parallel_for ?chunk t ~lo ~hi f =
 let shutdown t =
   if not t.stop then begin
     Mutex.lock t.mutex;
-    t.stop <- true;
-    Condition.broadcast t.cond_job;
-    Mutex.unlock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+         t.stop <- true;
+         Condition.broadcast t.cond_job);
     List.iter Domain.join t.domains;
     t.domains <- []
   end

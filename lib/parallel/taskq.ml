@@ -40,6 +40,16 @@ type t = {
 type 'a state = Queued | Running | Done of ('a, exn) result | Stopped
 type 'a handle = { q : t; mutable st : 'a state }
 
+(* Every critical section below runs under this combinator so an
+   exception inside it (a resize failure in [heap_push], an [invalid_arg]
+   on a stopped queue) can never leave [t.mutex] held and deadlock every
+   worker — the discipline qcs_lint's mutex-discipline rule enforces. The
+   worker loop is the one exception: it hands the lock over around the
+   task body and carries an inline suppression. *)
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
 (* --- binary max-heap on (prio, -seq), guarded by t.mutex ------------- *)
 
 let entry_before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
@@ -93,6 +103,9 @@ let heap_pop t =
 
 (* --- workers ---------------------------------------------------------- *)
 
+(* Hand-over-hand: [e.exec ~run:true] releases the lock around the task
+   body and retakes it to resolve the handle, a shape Fun.protect cannot
+   express.  qcs-lint: allow mutex-discipline *)
 let worker_loop t =
   let continue = ref true in
   while !continue do
@@ -132,12 +145,11 @@ let create ?(paused = false) slots =
 let slots t = t.slots
 
 let start t =
-  Mutex.lock t.mutex;
-  if not t.started then begin
-    t.started <- true;
-    Condition.broadcast t.cond_task
-  end;
-  Mutex.unlock t.mutex
+  locked t (fun () ->
+      if not t.started then begin
+        t.started <- true;
+        Condition.broadcast t.cond_task
+      end)
 
 let submit ?(priority = 0) t f =
   let h = { q = t; st = Queued } in
@@ -159,92 +171,76 @@ let submit ?(priority = 0) t f =
       Condition.broadcast t.cond_done
     | Running | Done _ -> assert false
   in
-  Mutex.lock t.mutex;
-  if t.stop then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Taskq.submit: queue is shut down"
-  end;
-  Obs.incr c_submitted;
-  let e = { prio = priority; seq = t.seq; exec } in
-  t.seq <- t.seq + 1;
-  t.live <- t.live + 1;
-  heap_push t e;
-  if t.started then Condition.signal t.cond_task;
-  Mutex.unlock t.mutex;
+  locked t (fun () ->
+      if t.stop then invalid_arg "Taskq.submit: queue is shut down";
+      Obs.incr c_submitted;
+      let e = { prio = priority; seq = t.seq; exec } in
+      t.seq <- t.seq + 1;
+      t.live <- t.live + 1;
+      heap_push t e;
+      if t.started then Condition.signal t.cond_task);
   h
 
 let try_abort h =
   let t = h.q in
-  Mutex.lock t.mutex;
-  let aborted =
-    match h.st with
-    | Queued ->
-      h.st <- Stopped;
-      t.live <- t.live - 1;
-      Obs.incr c_aborted;
-      Condition.broadcast t.cond_done;
-      true
-    | Running | Done _ | Stopped -> false
-  in
-  Mutex.unlock t.mutex;
-  aborted
+  locked t (fun () ->
+      match h.st with
+      | Queued ->
+        h.st <- Stopped;
+        t.live <- t.live - 1;
+        Obs.incr c_aborted;
+        Condition.broadcast t.cond_done;
+        true
+      | Running | Done _ | Stopped -> false)
 
 let await h =
   let t = h.q in
-  Mutex.lock t.mutex;
-  while (match h.st with Queued | Running -> true | Done _ | Stopped -> false) do
-    Condition.wait t.cond_done t.mutex
-  done;
-  let r = match h.st with Done r -> r | Stopped -> Error Aborted | _ -> assert false in
-  Mutex.unlock t.mutex;
-  r
+  locked t (fun () ->
+      while (match h.st with Queued | Running -> true | Done _ | Stopped -> false) do
+        Condition.wait t.cond_done t.mutex
+      done;
+      match h.st with Done r -> r | Stopped -> Error Aborted | _ -> assert false)
 
 let peek h =
   let t = h.q in
-  Mutex.lock t.mutex;
-  let r =
-    match h.st with
-    | Done r -> Some r
-    | Stopped -> Some (Error Aborted)
-    | Queued | Running -> None
-  in
-  Mutex.unlock t.mutex;
-  r
+  locked t (fun () ->
+      match h.st with
+      | Done r -> Some r
+      | Stopped -> Some (Error Aborted)
+      | Queued | Running -> None)
 
-let pending t =
-  Mutex.lock t.mutex;
-  let v = t.live in
-  Mutex.unlock t.mutex;
-  v
+let pending t = locked t (fun () -> t.live)
 
 let wait_idle t =
-  Mutex.lock t.mutex;
-  if not t.started then begin
-    t.started <- true;
-    Condition.broadcast t.cond_task
-  end;
-  while t.live > 0 do
-    Condition.wait t.cond_done t.mutex
-  done;
-  Mutex.unlock t.mutex
+  locked t (fun () ->
+      if not t.started then begin
+        t.started <- true;
+        Condition.broadcast t.cond_task
+      end;
+      while t.live > 0 do
+        Condition.wait t.cond_done t.mutex
+      done)
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  if not t.stop then begin
-    t.stop <- true;
-    (* Queued-but-never-run tasks resolve to Aborted so awaiters unblock. *)
-    for i = 0 to t.heap_len - 1 do
-      (heap_get t i).exec ~run:false;
-      t.heap.(i) <- None
-    done;
-    t.heap_len <- 0;
-    Condition.broadcast t.cond_task;
-    Condition.broadcast t.cond_done;
-    Mutex.unlock t.mutex;
-    List.iter Domain.join t.domains;
-    t.domains <- []
-  end
-  else Mutex.unlock t.mutex
+  let domains =
+    locked t (fun () ->
+        if t.stop then []
+        else begin
+          t.stop <- true;
+          (* Queued-but-never-run tasks resolve to Aborted so awaiters unblock. *)
+          for i = 0 to t.heap_len - 1 do
+            (heap_get t i).exec ~run:false;
+            t.heap.(i) <- None
+          done;
+          t.heap_len <- 0;
+          Condition.broadcast t.cond_task;
+          Condition.broadcast t.cond_done;
+          let ds = t.domains in
+          t.domains <- [];
+          ds
+        end)
+  in
+  List.iter Domain.join domains
 
 let with_queue ?paused slots f =
   let t = create ?paused slots in

@@ -27,4 +27,5 @@ let stddev xs =
   let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
   sqrt (sq /. float_of_int (List.length xs))
 
-let ratio a b = if b = 0.0 then Float.infinity else a /. b
+let ratio a b =
+  if Float.classify_float b = Float.FP_zero then Float.infinity else a /. b

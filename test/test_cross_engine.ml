@@ -98,6 +98,34 @@ let test_forced_conversion_every_index () =
       (Simulator.amplitudes r) expect.State.amps
   done
 
+let test_check_mode_differential_sweep () =
+  (* A reduced version of the CI check-smoke sweep: run the hybrid across
+     random circuits under FLATDD_CHECK semantics (abort mode) and assert
+     the checker stayed silent — every chunk claim disjoint, no re-entrant
+     admission — while the results still match the dense reference. *)
+  Check.set_mode Check.Abort;
+  Fun.protect
+    ~finally:(fun () ->
+        Check.set_mode Check.Off;
+        Check.reset ())
+    (fun () ->
+       for seed = 1 to 8 do
+         let c = Test_util.random_circuit ~seed ~gates:25 5 in
+         let fast = Apply.run c in
+         let cfg =
+           { Config.default with
+             Config.threads = 3;
+             policy = Config.Convert_at 5 }
+         in
+         let flat = Simulator.amplitudes (Simulator.simulate cfg c) in
+         Test_util.check_close ~tol:1e-9
+           (Printf.sprintf "seed %d under check mode" seed)
+           flat fast.State.amps
+       done;
+       Alcotest.(check int) "no races across the sweep" 0 (Check.races ());
+       Alcotest.(check int) "no re-entrant admissions" 0 (Check.reentries ());
+       Alcotest.(check bool) "the checker actually ran" true (Check.claims () > 0))
+
 let prop_engines_agree_random =
   QCheck.Test.make ~name:"all engines agree on random circuits" ~count:10
     QCheck.(int_range 1 10000)
@@ -124,4 +152,6 @@ let suite =
           test_compaction_interval_invariance;
         Alcotest.test_case "forced conversion at every index" `Quick
           test_forced_conversion_every_index;
+        Alcotest.test_case "differential sweep under FLATDD_CHECK" `Quick
+          test_check_mode_differential_sweep;
         QCheck_alcotest.to_alcotest prop_engines_agree_random ] ) ]

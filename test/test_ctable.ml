@@ -14,7 +14,8 @@ let test_snapping () =
 let test_near_zero_snaps_to_zero () =
   let t = Ctable.create () in
   let z = Ctable.canon t (Cnum.make 1e-14 (-1e-14)) in
-  Alcotest.(check bool) "exact zero" true (z.Cnum.re = 0.0 && z.Cnum.im = 0.0);
+  Alcotest.(check bool) "exact zero" true
+    (Float.equal z.Cnum.re 0.0 && Float.equal z.Cnum.im 0.0);
   Alcotest.(check int) "zero id" Ctable.zero_id (Ctable.id t z)
 
 let test_distinct_values_distinct_ids () =

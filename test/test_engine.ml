@@ -64,7 +64,8 @@ let test_run_engine_phase_accounting () =
   let cfg = { Config.default with Config.trace = true } in
   let dd = Driver.run_engine (module Dd_engine) cfg c in
   Alcotest.(check bool) "dd time in seconds_dd" true
-    (dd.Driver.seconds_dmav = 0.0 && dd.Driver.seconds_total = dd.Driver.seconds_dd);
+    (Float.equal dd.Driver.seconds_dmav 0.0
+     && Float.equal dd.Driver.seconds_total dd.Driver.seconds_dd);
   List.iter
     (fun (r : Engine.gate_record) ->
        Alcotest.(check bool) "dd records carry Dd_phase" true
@@ -72,7 +73,8 @@ let test_run_engine_phase_accounting () =
     dd.Driver.trace;
   let fl = Driver.run_engine (module Dmav_engine) cfg c in
   Alcotest.(check bool) "dmav time in seconds_dmav" true
-    (fl.Driver.seconds_dd = 0.0 && fl.Driver.seconds_total = fl.Driver.seconds_dmav);
+    (Float.equal fl.Driver.seconds_dd 0.0
+     && Float.equal fl.Driver.seconds_total fl.Driver.seconds_dmav);
   Alcotest.(check int) "every dmav gate picked a kernel"
     (Circuit.num_gates c)
     (fl.Driver.dmav_gates_cached + fl.Driver.dmav_gates_uncached)

@@ -1,0 +1,209 @@
+(* qcs_lint's own tests: one positive fixture and one suppressed (or
+   otherwise clean) twin per rule, the suppression and allowlist
+   mechanics, exit semantics, the qcs_lint/v1 document, and the
+   parse-error path. Fixtures are tiny inline sources pushed through
+   Lint.lint_source — no temp files or subprocesses. *)
+
+let lint ?(allow = []) ?(path = "lib/fixture.ml") text =
+  Lint.lint_source ~rules:Lint_rules.all ~allow ~path text
+
+let rules_of fs = List.map (fun (f : Lint.finding) -> f.Lint.rule) fs
+
+let severity_of rule fs =
+  List.find_map
+    (fun (f : Lint.finding) ->
+       if f.Lint.rule = rule then Some f.Lint.severity else None)
+    fs
+
+let check_flagged name ?path ~rule text =
+  Alcotest.(check bool) (name ^ ": flagged") true
+    (List.mem rule (rules_of (lint ?path text)))
+
+let check_clean name ?path ?allow text =
+  Alcotest.(check (list string)) (name ^ ": clean") []
+    (rules_of (lint ?allow ?path text))
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+(* Built by concatenation so the scanner never sees the word in this
+   file's own text. *)
+let todo_word = "TO" ^ "DO"
+
+(* ---- one fixture pair per rule -------------------------------------- *)
+
+let test_float_eq () =
+  check_flagged "literal rhs" ~rule:"float-eq" "let f x = x = 1.0\n";
+  check_flagged "literal lhs" ~rule:"float-eq" "let f x = 0.0 <> x\n";
+  check_flagged "negated literal" ~rule:"float-eq" "let f x = x = -1.0\n";
+  check_flagged "physical eq" ~rule:"float-eq" "let f x = x == 0.5\n";
+  check_clean "Float.equal is fine" "let f x = Float.equal x 1.0\n";
+  check_clean "int equality is fine" "let f x = x = 1\n";
+  check_clean "suppressed" "(* qcs-lint: allow float-eq *)\nlet f x = x = 1.0\n"
+
+let test_obj_magic () =
+  check_flagged "direct" ~rule:"obj-magic" "let f x = Obj.magic x\n";
+  check_flagged "qualified" ~rule:"obj-magic" "let f x = Stdlib.Obj.magic x\n";
+  check_clean "suppressed" "(* qcs-lint: allow obj-magic *)\nlet f x = Obj.magic x\n"
+
+let test_unsafe_array () =
+  check_flagged "unsafe_get" ~rule:"unsafe-array" "let f a = Array.unsafe_get a 0\n";
+  check_flagged "unsafe_set" ~rule:"unsafe-array"
+    "let f a = Bytes.unsafe_set a 0 'x'\n";
+  check_clean "checked access is fine" "let f a = a.(0)\n";
+  check_clean "suppressed"
+    "(* qcs-lint: allow unsafe-array *)\nlet f a = Array.unsafe_get a 0\n"
+
+let test_catchall_exn () =
+  let fs = lint "let f g = try g () with _ -> 0\n" in
+  Alcotest.(check bool) "wildcard handler flagged" true
+    (List.mem "catchall-exn" (rules_of fs));
+  Alcotest.(check bool) "warning severity" true
+    (severity_of "catchall-exn" fs = Some Lint.Warning);
+  Alcotest.(check bool) "warnings alone do not fail the gate" false
+    (Lint.has_errors fs);
+  check_flagged "exception case in match" ~rule:"catchall-exn"
+    "let f g = match g () with x -> x | exception _ -> 0\n";
+  check_clean "re-raising wildcard is fine"
+    "let f g = try g () with _ as e -> raise e\n";
+  check_clean "named specific exception is fine"
+    "let f g = try g () with Not_found -> 0\n";
+  check_clean "suppressed"
+    "(* qcs-lint: allow catchall-exn *)\nlet f g = try g () with _ -> 0\n"
+
+let test_mutex_discipline () =
+  let leak = lint "let f m g = Mutex.lock m; g ()\n" in
+  Alcotest.(check bool) "lock without unlock flagged" true
+    (List.mem "mutex-discipline" (rules_of leak));
+  Alcotest.(check bool) "lock without unlock is an error" true
+    (severity_of "mutex-discipline" leak = Some Lint.Error);
+  let bare = lint "let f m g = Mutex.lock m; g (); Mutex.unlock m\n" in
+  Alcotest.(check bool) "bare lock/unlock pair flagged" true
+    (List.mem "mutex-discipline" (rules_of bare));
+  Alcotest.(check bool) "bare pair is only a warning" true
+    (severity_of "mutex-discipline" bare = Some Lint.Warning);
+  check_clean "Fun.protect is fine"
+    "let f m g = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) g\n";
+  check_clean "locked-style combinator is fine"
+    "let f m g = Mutex.lock m; with_lock m g\n";
+  check_clean "suppressed"
+    "(* qcs-lint: allow mutex-discipline *)\nlet f m g = Mutex.lock m; g ()\n"
+
+let test_naked_hashtbl () =
+  check_flagged "captured table mutated" ~rule:"naked-hashtbl-in-parallel"
+    "let f pool h = Pool.parallel_for pool ~lo:0 ~hi:4 (fun i -> Hashtbl.replace h i i)\n";
+  check_flagged "Taskq closure too" ~rule:"naked-hashtbl-in-parallel"
+    "let f q h = Taskq.submit q (fun () -> Hashtbl.add h 1 1)\n";
+  check_clean "closure-local table is fine"
+    "let f pool = Pool.run pool (fun _ -> let h = Hashtbl.create 4 in Hashtbl.replace h 0 0)\n";
+  check_clean "reads are fine"
+    "let f pool h = Pool.run pool (fun i -> ignore (Hashtbl.find_opt h i))\n";
+  check_clean "suppressed"
+    "(* qcs-lint: allow naked-hashtbl-in-parallel *)\n\
+     let f pool h = Pool.run pool (fun i -> Hashtbl.replace h i i)\n"
+
+let test_printf_in_lib () =
+  check_flagged "print_endline in lib" ~rule:"printf-in-lib"
+    "let f () = print_endline \"x\"\n";
+  check_flagged "output_string stdout in lib" ~rule:"printf-in-lib"
+    "let f () = output_string stdout \"x\"\n";
+  check_clean "bin code may print" ~path:"bin/fixture.ml"
+    "let f () = print_endline \"x\"\n";
+  check_clean "test code may print" ~path:"test/fixture.ml"
+    "let f () = print_endline \"x\"\n";
+  check_clean "lib/obs owns rendering" ~path:"lib/obs/fixture.ml"
+    "let f () = print_endline \"x\"\n";
+  check_clean "stderr is fine" "let f () = prerr_endline \"x\"\n"
+
+let test_todo_marker () =
+  let fs = lint ("let x = 1 (* " ^ todo_word ^ ": later *)\n") in
+  Alcotest.(check bool) "marker flagged" true (List.mem "todo-marker" (rules_of fs));
+  Alcotest.(check bool) "info severity" true
+    (severity_of "todo-marker" fs = Some Lint.Info);
+  check_clean "suppressed on the same line"
+    ("let x = 1 (* " ^ todo_word ^ " *) (* qcs-lint: allow todo-marker *)\n")
+
+(* ---- framework mechanics --------------------------------------------- *)
+
+let test_suppress_all () =
+  check_clean "allow all suppresses everything"
+    "(* qcs-lint: allow all *)\nlet f x = x = 1.0 && Obj.magic x\n"
+
+let test_allowlist () =
+  let allow = [ ("float-eq", "lib/dd/") ] in
+  check_clean "allowlisted prefix" ~allow ~path:"lib/dd/fixture.ml"
+    "let f x = x = 1.0\n";
+  check_flagged "other paths still flagged" ~path:"lib/util/fixture.ml"
+    ~rule:"float-eq" "let f x = x = 1.0\n";
+  check_clean "wildcard rule" ~allow:[ ("*", "lib/") ] "let f x = Obj.magic x\n"
+
+let test_load_allow () =
+  let path = Filename.temp_file "qcs_lint" ".allow" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "# header comment\nfloat-eq lib/dd/\n\n* bench/ # trailing\n");
+  let allow = Lint.load_allow path in
+  Sys.remove path;
+  Alcotest.(check (list (pair string string)))
+    "parsed pairs"
+    [ ("float-eq", "lib/dd/"); ("*", "bench/") ]
+    allow;
+  let bad = Filename.temp_file "qcs_lint" ".allow" in
+  Out_channel.with_open_text bad (fun oc -> output_string oc "just-one-word\n");
+  let raised = try ignore (Lint.load_allow bad); false with Invalid_argument _ -> true in
+  Sys.remove bad;
+  Alcotest.(check bool) "malformed line rejected" true raised
+
+let test_parse_error () =
+  let fs = lint "let let = 3\n" in
+  Alcotest.(check (list string)) "parse failure is a finding" [ "parse-error" ]
+    (rules_of fs);
+  Alcotest.(check bool) "parse failure fails the gate" true (Lint.has_errors fs)
+
+let test_has_errors_gate () =
+  Alcotest.(check bool) "error finding trips the gate" true
+    (Lint.has_errors (lint "let f x = x = 1.0\n"));
+  Alcotest.(check bool) "clean source passes" false
+    (Lint.has_errors (lint "let f x = x + 1\n"))
+
+let test_json_document () =
+  let fs = lint "let f x = x = 1.0\n" in
+  let j = Lint.to_json ~files:1 fs in
+  Alcotest.(check bool) "schema tag" true (contains j "\"schema\": \"qcs_lint/v1\"");
+  Alcotest.(check bool) "error count" true (contains j "\"errors\": 1");
+  Alcotest.(check bool) "finding rule" true (contains j "\"rule\": \"float-eq\"");
+  Alcotest.(check bool) "finding file" true (contains j "\"file\": \"lib/fixture.ml\"");
+  let empty = Lint.to_json ~files:0 [] in
+  Alcotest.(check bool) "empty findings array" true (contains empty "\"findings\": []")
+
+let test_render () =
+  match lint "let f x = x = 1.0\n" with
+  | [ f ] ->
+    let r = Lint.render f in
+    Alcotest.(check bool) "file:line:col prefix" true
+      (String.starts_with ~prefix:"lib/fixture.ml:1:" r);
+    Alcotest.(check bool) "names the rule" true (contains r "[float-eq]")
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let suite =
+  [ ( "lint",
+      [ Alcotest.test_case "float-eq" `Quick test_float_eq;
+        Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+        Alcotest.test_case "unsafe-array" `Quick test_unsafe_array;
+        Alcotest.test_case "catchall-exn" `Quick test_catchall_exn;
+        Alcotest.test_case "mutex-discipline" `Quick test_mutex_discipline;
+        Alcotest.test_case "naked-hashtbl-in-parallel" `Quick test_naked_hashtbl;
+        Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
+        Alcotest.test_case "todo-marker" `Quick test_todo_marker;
+        Alcotest.test_case "allow-all suppression" `Quick test_suppress_all;
+        Alcotest.test_case "allowlist prefixes" `Quick test_allowlist;
+        Alcotest.test_case "lint.allow parsing" `Quick test_load_allow;
+        Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
+        Alcotest.test_case "has_errors gate" `Quick test_has_errors_gate;
+        Alcotest.test_case "qcs_lint/v1 JSON" `Quick test_json_document;
+        Alcotest.test_case "human rendering" `Quick test_render ] ) ]
+
+(* Own binary: the linter's compiler-libs dependency cannot be linked
+   next to the simulator's Config (see test/dune). *)
+let () = Alcotest.run "qcs_lint" suite

@@ -26,7 +26,7 @@ let test_defaults_and_derived_seed () =
   Alcotest.(check int) "seed = Rng.derive base index" (Rng.derive 99 4) r.Manifest.seed;
   Alcotest.(check int) "priority defaults to 0" 0 j.Sched.priority;
   Alcotest.(check int) "max_retries defaults to 0" 0 j.Sched.max_retries;
-  Alcotest.(check bool) "no deadline" true (j.Sched.deadline_s = 0.0);
+  Alcotest.(check bool) "no deadline" true (Float.equal j.Sched.deadline_s 0.0);
   (* Same base seed and line -> same circuit, different line -> different seed. *)
   let r2 = Manifest.parse_line ~base_seed:99 ~index:4 {|{"circuit":"ghz","n":6}|} in
   Alcotest.(check int) "reproducible" r.Manifest.seed r2.Manifest.seed;

@@ -202,6 +202,80 @@ let test_concurrent_caller_exceptions_isolated () =
         (Atomic.get failures);
       Alcotest.(check int) "clean jobs unaffected" 50 (Atomic.get ok))
 
+(* ---- FLATDD_CHECK ownership checker -------------------------------- *)
+
+let with_check mode f =
+  Check.set_mode mode;
+  Fun.protect
+    ~finally:(fun () ->
+        Check.set_mode Check.Off;
+        Check.reset ())
+    f
+
+let test_check_region_overlap_counts () =
+  with_check Check.Count (fun () ->
+      let r = Check.region ~name:"test" in
+      Check.claim r ~owner:1 ~lo:0 ~hi:10;
+      Check.claim r ~owner:1 ~lo:0 ~hi:10;   (* same owner may re-claim *)
+      Check.claim r ~owner:2 ~lo:10 ~hi:20;  (* disjoint neighbour is fine *)
+      Alcotest.(check int) "no race yet" 0 (Check.races ());
+      Check.claim r ~owner:2 ~lo:5 ~hi:12;   (* overlaps owner 1's range *)
+      Alcotest.(check int) "race recorded, not raised" 1 (Check.races ());
+      Alcotest.(check int) "all claims counted" 4 (Check.claims ()))
+
+let test_check_region_overlap_aborts () =
+  with_check Check.Abort (fun () ->
+      let r = Check.region ~name:"test" in
+      Check.claim r ~owner:1 ~lo:0 ~hi:10;
+      let raised =
+        try Check.claim r ~owner:2 ~lo:9 ~hi:11; false with Check.Race _ -> true
+      in
+      Alcotest.(check bool) "overlap raises in abort mode" true raised)
+
+let test_check_off_is_silent () =
+  (* Mode Off: claims are not even recorded, so the hot path stays free. *)
+  let r = Check.region ~name:"test" in
+  Check.claim r ~owner:1 ~lo:0 ~hi:10;
+  Check.claim r ~owner:2 ~lo:0 ~hi:10;
+  Alcotest.(check int) "no claims tracked" 0 (Check.claims ());
+  Alcotest.(check int) "no races tracked" 0 (Check.races ())
+
+let test_check_parallel_for_clean () =
+  with_check Check.Abort (fun () ->
+      Pool.with_pool 3 (fun pool ->
+          let n = 10_000 in
+          let a = Array.make n 0 in
+          Pool.parallel_for ~chunk:16 pool ~lo:0 ~hi:n (fun i -> a.(i) <- i);
+          Alcotest.(check int) "disjoint chunks, no races" 0 (Check.races ());
+          Alcotest.(check bool) "chunk claims were recorded" true
+            (Check.claims () > 0)))
+
+let test_check_reentrant_admission () =
+  with_check Check.Abort (fun () ->
+      Pool.with_pool 2 (fun pool ->
+          let raised =
+            try
+              Pool.run pool (fun _ -> Pool.run pool (fun _ -> ()));
+              false
+            with Check.Race _ -> true
+          in
+          Alcotest.(check bool) "same-pool re-entry detected" true raised;
+          Alcotest.(check bool) "re-entries counted" true (Check.reentries () > 0);
+          (* Nesting a *different* pool is legitimate and must stay silent. *)
+          let total = Atomic.make 0 in
+          Pool.run pool (fun _ ->
+              Pool.with_pool 2 (fun inner ->
+                  Pool.run inner (fun _ -> Atomic.incr total)));
+          Alcotest.(check int) "distinct pools nest" 4 (Atomic.get total)))
+
+let test_check_workspace_double_give () =
+  with_check Check.Abort (fun () ->
+      let ws = Dmav.workspace ~n:4 in
+      let b = Dmav.take ws in
+      Dmav.give ws b;
+      let raised = try Dmav.give ws b; false with Check.Race _ -> true in
+      Alcotest.(check bool) "double give detected" true raised)
+
 let suite =
   [ ( "pool",
       [ Alcotest.test_case "run covers all workers" `Quick test_run_covers_all_workers;
@@ -229,4 +303,16 @@ let suite =
         Alcotest.test_case "concurrent callers share one pool" `Quick
           test_concurrent_callers_share_pool;
         Alcotest.test_case "concurrent caller exceptions isolated" `Quick
-          test_concurrent_caller_exceptions_isolated ] ) ]
+          test_concurrent_caller_exceptions_isolated ] );
+    ( "check",
+      [ Alcotest.test_case "region overlap in count mode" `Quick
+          test_check_region_overlap_counts;
+        Alcotest.test_case "region overlap in abort mode" `Quick
+          test_check_region_overlap_aborts;
+        Alcotest.test_case "off mode records nothing" `Quick test_check_off_is_silent;
+        Alcotest.test_case "parallel_for chunks are race-free" `Quick
+          test_check_parallel_for_clean;
+        Alcotest.test_case "re-entrant admission refused" `Quick
+          test_check_reentrant_admission;
+        Alcotest.test_case "workspace double give refused" `Quick
+          test_check_workspace_double_give ] ) ]

@@ -1,0 +1,75 @@
+(* qcs_lint: the FlatDD static analyzer.
+
+     dune exec tools/lint/qcs_lint.exe -- lib bin bench test
+
+   Walks the given files/directories for .ml sources (skipping _build and
+   dot-directories), parses each with compiler-libs and runs the
+   Lint_rules catalog, honoring inline `(* qcs-lint: allow <rule> *)`
+   suppressions and the lint.allow file. Exits non-zero iff any
+   error-severity finding survives. `--json` emits the qcs_lint/v1
+   document instead of the human listing. *)
+
+let usage =
+  "usage: qcs_lint [--json] [--allow FILE] [--rules] [paths...]\n\
+   Lints OCaml sources against the FlatDD rule catalog.\n\
+   With no paths, lints lib bin bench test."
+
+let list_rules () =
+  List.iter
+    (fun (r : Lint.rule) ->
+       Printf.printf "%-28s %-7s %s\n" r.Lint.name
+         (Lint.severity_name r.Lint.severity)
+         r.Lint.doc)
+    Lint_rules.all;
+  exit 0
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+            if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
+            else walk acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let json = ref false in
+  let allow_file = ref "lint.allow" in
+  let paths = ref [] in
+  let spec =
+    [ ("--json", Arg.Set json, "emit the qcs_lint/v1 JSON document on stdout");
+      ("--allow", Arg.Set_string allow_file,
+       "FILE allowlist of <rule> <path-prefix> pairs (default: lint.allow)");
+      ("--rules", Arg.Unit list_rules, "print the rule catalog and exit") ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let roots =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
+  in
+  List.iter
+    (fun p ->
+       if not (Sys.file_exists p) then begin
+         Printf.eprintf "qcs_lint: no such file or directory: %s\n" p;
+         exit 2
+       end)
+    roots;
+  let allow =
+    if Sys.file_exists !allow_file then Lint.load_allow !allow_file else []
+  in
+  let files = List.rev (List.fold_left walk [] roots) in
+  let findings =
+    List.concat_map (fun f -> Lint.lint_file ~rules:Lint_rules.all ~allow f) files
+  in
+  if !json then print_string (Lint.to_json ~files:(List.length files) findings)
+  else begin
+    List.iter (fun f -> print_endline (Lint.render f)) findings;
+    let count sev =
+      List.length
+        (List.filter (fun (f : Lint.finding) -> f.Lint.severity = sev) findings)
+    in
+    Printf.printf "qcs_lint: %d file(s), %d error(s), %d warning(s), %d info\n"
+      (List.length files) (count Lint.Error) (count Lint.Warning) (count Lint.Info)
+  end;
+  exit (if Lint.has_errors findings then 1 else 0)
