@@ -20,7 +20,7 @@ let state_at_conversion (c : Circuit.t) =
   let gates = Circuit.num_gates c in
   while (not !fired) && !i < gates do
     state := Dd.mv p (Mat_dd.of_op p ~n c.Circuit.ops.(!i)) !state;
-    if Ewma.observe monitor (float_of_int (Dd.vnode_count !state)) = Ewma.Convert then
+    if Ewma.observe monitor (float_of_int (Dd.vnode_count p !state)) = Ewma.Convert then
       fired := true;
     incr i
   done;
@@ -42,14 +42,14 @@ let run () =
           (fun (row : Workloads.row) ->
              let c = Workloads.circuit_of row in
              let n = c.Circuit.n in
-             let _p, state, fired, at = state_at_conversion c in
+             let p, state, fired, at = state_at_conversion c in
              if not fired then None
              else begin
-               let seq_t = time_best ~repeats:3 (fun () -> Convert.sequential ~n state) in
+               let seq_t = time_best ~repeats:3 (fun () -> Convert.sequential p ~n state) in
                let par_t =
-                 time_best ~repeats:3 (fun () -> Convert.parallel_ ~pool ~n state)
+                 time_best ~repeats:3 (fun () -> Convert.parallel_ p ~pool ~n state)
                in
-               let _, stats = Convert.parallel ~pool ~n state in
+               let _, stats = Convert.parallel p ~pool ~n state in
                (* Total runtime context: a full FlatDD run of the same
                   circuit, to express conversion as a share of total. *)
                let cfg = { Config.default with Config.threads = Pool.size pool } in
@@ -60,7 +60,7 @@ let run () =
                in
                Some
                  [ row.Workloads.label;
-                   string_of_int (Dd.vnode_count state);
+                   string_of_int (Dd.vnode_count p state);
                    string_of_int at;
                    Printf.sprintf "%.5f" seq_t;
                    Printf.sprintf "%.5f" par_t;

@@ -34,13 +34,13 @@ let dmav_phase pool (c : Circuit.t) ~with_cache =
     (fun op ->
        let m = Mat_dd.of_op p ~n op in
        if with_cache then begin
-         let stats = Dmav.apply ~workspace:ws ~pool ~simd_width:4 ~n m ~v:!v ~w:!w in
+         let stats = Dmav.apply ~workspace:ws p ~pool ~simd_width:4 ~n m ~v:!v ~w:!w in
          cost_nocache := !cost_nocache +. stats.Dmav.decision.Cost.c1;
          cost_chosen :=
            !cost_chosen
            +. Float.min stats.Dmav.decision.Cost.c1 stats.Dmav.decision.Cost.c2
        end
-       else Dmav.apply_nocache ~pool ~n m ~v:!v ~w:!w;
+       else Dmav.apply_nocache p ~pool ~n m ~v:!v ~w:!w;
        swap ())
     c.Circuit.ops;
   let dt = Int64.to_float (Int64.sub (Timer.now_ns ()) t0) *. 1e-9 in

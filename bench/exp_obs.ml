@@ -23,18 +23,18 @@ let run () =
       let p = Dd.create () in
       (* A dense, irregular state: exactly the regime DMAV runs in. *)
       let c = Suite.generate ~seed:1 ~gates:200 Suite.Supremacy ~n in
-      let dd = Ddsim.run c in
-      let v = Convert.sequential ~n dd.Ddsim.state in
+      let dd = Ddsim.run ~package:p c in
+      let v = Convert.sequential p ~n dd.Ddsim.state in
       let w = Buf.create (1 lsl n) in
       let h = Mat_dd.of_single p ~n ~target:(n - 1) ~controls:[] Gate.h in
       let cx = Mat_dd.of_single p ~n ~target:7 ~controls:[ 2 ] Gate.x in
       let ws = Dmav.workspace ~n in
       let kernels =
-        [ ("dmav nocache (H top)", fun () -> Dmav.apply_nocache ~pool ~n h ~v ~w);
-          ("dmav nocache (CX)", fun () -> Dmav.apply_nocache ~pool ~n cx ~v ~w);
+        [ ("dmav nocache (H top)", fun () -> Dmav.apply_nocache p ~pool ~n h ~v ~w);
+          ("dmav nocache (CX)", fun () -> Dmav.apply_nocache p ~pool ~n cx ~v ~w);
           ( "dmav apply (cost model)",
             fun () ->
-              ignore (Dmav.apply ~workspace:ws ~pool ~simd_width:4 ~n h ~v ~w) ) ]
+              ignore (Dmav.apply ~workspace:ws p ~pool ~simd_width:4 ~n h ~v ~w) ) ]
       in
       let was_enabled = Obs.enabled () in
       let rows =

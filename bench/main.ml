@@ -23,6 +23,7 @@ let experiments =
     ("fig13", Exp_fig13.run);
     ("fig14", Exp_fig14.run);
     ("ablation", Exp_ablation.run);
+    ("ddmem", Exp_ddmem.run);
     ("dispatch", Exp_dispatch.run);
     ("obs", Exp_obs.run);
     ("sched", Exp_sched.run) ]

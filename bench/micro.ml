@@ -12,9 +12,9 @@ let make_tests pool =
   let gate = Mat_dd.of_single p ~n ~target:(n - 1) ~controls:[] Gate.h in
   let cx = Mat_dd.of_single p ~n ~target:7 ~controls:[ 2 ] Gate.x in
   let c = Suite.generate ~seed:1 ~gates:200 Suite.Supremacy ~n in
-  let dd_state = (Ddsim.run c).Ddsim.state in
+  let dd_state = (Ddsim.run ~package:p c).Ddsim.state in
   let vdd = dd_state in
-  let vbuf = Convert.sequential ~n vdd in
+  let vbuf = Convert.sequential p ~n vdd in
   let vflat = Buf.copy vbuf in
   let wflat = Buf.create (1 lsl n) in
   let ws = Dmav.workspace ~n in
@@ -22,22 +22,22 @@ let make_tests pool =
   [ Test.make ~name:"dd-mv (H top, dense state)"
       (Staged.stage (fun () -> ignore (Dd.mv p gate vdd)));
     Test.make ~name:"dmav nocache (H top)"
-      (Staged.stage (fun () -> Dmav.apply_nocache ~pool ~n gate ~v:vflat ~w:wflat));
+      (Staged.stage (fun () -> Dmav.apply_nocache p ~pool ~n gate ~v:vflat ~w:wflat));
     Test.make ~name:"dmav cached (H top)"
       (Staged.stage (fun () ->
-           ignore (Dmav.apply_cache ~workspace:ws ~pool ~n gate ~v:vflat ~w:wflat)));
+           ignore (Dmav.apply_cache ~workspace:ws p ~pool ~n gate ~v:vflat ~w:wflat)));
     Test.make ~name:"dmav nocache (CX)"
-      (Staged.stage (fun () -> Dmav.apply_nocache ~pool ~n cx ~v:vflat ~w:wflat));
+      (Staged.stage (fun () -> Dmav.apply_nocache p ~pool ~n cx ~v:vflat ~w:wflat));
     Test.make ~name:"convert sequential"
-      (Staged.stage (fun () -> ignore (Convert.sequential ~n vdd)));
+      (Staged.stage (fun () -> ignore (Convert.sequential p ~n vdd)));
     Test.make ~name:"convert parallel(1)"
-      (Staged.stage (fun () -> ignore (Convert.parallel_ ~pool ~n vdd)));
+      (Staged.stage (fun () -> ignore (Convert.parallel_ p ~pool ~n vdd)));
     Test.make ~name:"array kernel (H)"
       (Staged.stage (fun () -> Apply.single st Gate.h ~target:5 ~controls:[]));
     Test.make ~name:"qpp kernel (H)"
       (Staged.stage (fun () -> Qpp_kernel.single st Gate.h ~target:5 ~controls:[]));
     Test.make ~name:"mac_count (supremacy gate)"
-      (Staged.stage (fun () -> ignore (Cost.mac_count gate))) ]
+      (Staged.stage (fun () -> ignore (Cost.mac_count p gate))) ]
 
 let run () =
   Report.section "Microbenchmarks (bechamel, ns per run)";

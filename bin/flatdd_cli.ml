@@ -66,7 +66,7 @@ let print_top_amplitudes buf count =
   done
 
 let run engine family qasm n gates seed threads beta epsilon fusion dispatch trace top
-    export metrics metrics_json =
+    export metrics metrics_json compact_every =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
@@ -138,13 +138,16 @@ let run engine family qasm n gates seed threads beta epsilon fusion dispatch tra
            r.Simulator.trace;
        if top > 0 then print_top_amplitudes (Simulator.amplitudes r) top
      | Dd_engine ->
-       let r, dt = Timer.time (fun () -> Ddsim.run circuit) in
+       let r, dt = Timer.time (fun () -> Ddsim.run ~compact_every circuit) in
        Printf.printf "engine: dd (single thread)\n";
        Printf.printf "runtime: %.4f s\n" dt;
        Printf.printf "final DD size: %d nodes (peak %d)\n"
-         (Dd.vnode_count r.Ddsim.state) r.Ddsim.peak_nodes;
+         (Dd.vnode_count r.Ddsim.package r.Ddsim.state) r.Ddsim.peak_nodes;
        Printf.printf "peak memory (modeled): %.2f MB\n"
          (float_of_int r.Ddsim.peak_memory_bytes /. 1048576.0);
+       let p = r.Ddsim.package in
+       Printf.printf "gc: epoch=%d vfree=%d mfree=%d live=%d\n" (Dd.epoch p)
+         (Dd.vfree_slots p) (Dd.mfree_slots p) (Dd.live_vnodes p);
        if top > 0 then
          print_top_amplitudes (Ddsim.final_amplitudes r circuit.Circuit.n) top
      | Array_engine ->
@@ -220,9 +223,16 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Enable the instrumentation layer and write the metrics snapshot as JSON to $(docv).")
   in
+  let compact_every =
+    Arg.(value & opt int 64
+         & info [ "compact-every" ]
+             ~doc:"DD engine only: run mark-sweep compaction every N gates (0 \
+                   disables; 1 collects after every gate — the gc-soak setting).")
+  in
   let term =
     Term.(const run $ engine $ family $ qasm $ n $ gates $ seed $ threads $ beta
-          $ epsilon $ fusion $ dispatch $ trace $ top $ export $ metrics $ metrics_json)
+          $ epsilon $ fusion $ dispatch $ trace $ top $ export $ metrics $ metrics_json
+          $ compact_every)
   in
   Cmd.v (Cmd.info "flatdd" ~doc:"Hybrid decision-diagram / flat-array quantum circuit simulator") term
 

@@ -23,7 +23,7 @@ let () =
     (fun i op ->
        dd_state := Dd.mv p (Mat_dd.of_op p ~n op) !dd_state;
        Apply.op flat op;
-       let size = Dd.vnode_count !dd_state in
+       let size = Dd.vnode_count p !dd_state in
        if Ewma.observe monitor (float_of_int size) = Ewma.Convert && !fired = None
        then fired := Some i;
        if i mod 8 = 0 || Some i = !fired then begin

@@ -340,6 +340,64 @@ let printf_in_lib =
              to the caller"
         | _ -> ())
 
+(* --- node-alloc-outside-arena ----------------------------------------- *)
+
+(* Since the arena refactor, every DD node lives in a package-owned
+   Node_store and every edge is a packed [(wid lsl 31) lor tgt] int whose
+   index is only meaningful relative to that package's arena. The dd
+   library is wrapped-false, so nothing stops a module in lib/engine from
+   calling [Node_store.alloc2] directly or hand-packing an edge — which
+   bypasses normalization, the unique table, and the epoch scheme, and
+   silently breaks canonicity (or aliases a freed slot after compaction).
+   Construction must go through the Dd API ([make_vnode], [make_mnode],
+   [vterm_edge], ...), and only inside lib/dd/.
+
+   Two syntactic nets, both scoped to paths outside lib/dd/:
+   - any reference into the Node_store module (the arena is lib/dd
+     private; even reads are a layering leak);
+   - a [lor] whose operand is [_ lsl 31] (or [_ lsl tgt_bits]) — the edge
+     packing shape. Shifts by other amounts (Bits helpers, hash mixing)
+     are not flagged. *)
+let is_edge_shift e =
+  match e.pexp_desc with
+  | Pexp_apply (op, [ (_, _); (_, amt) ])
+    when ident_in [ "lsl"; "Stdlib.lsl" ] op ->
+    (match amt.pexp_desc with
+     | Pexp_constant (Pconst_integer ("31", None)) -> true
+     | Pexp_ident _ ->
+       (match ident_of amt with
+        | Some id -> last_component id = "tgt_bits"
+        | None -> false)
+     | _ -> false)
+  | _ -> false
+
+let node_alloc_outside_arena =
+  let rule =
+    stub "node-alloc-outside-arena" Lint.Error
+      "DD node/edge construction outside lib/dd bypasses normalization, the \
+       unique table and the epoch scheme; use the Dd API"
+  in
+  let applies path = not (String.starts_with ~prefix:"lib/dd/" path) in
+  on_expr rule (fun ctx e ->
+      if applies ctx.Lint.src.Lint.path then
+        match e.pexp_desc with
+        | Pexp_ident _ ->
+          (match ident_of e with
+           | Some id
+             when String.starts_with ~prefix:"Node_store." id
+                  || String.starts_with ~prefix:"Dd.Node_store." id ->
+             Lint.report ctx ~rule ~loc:e.pexp_loc
+               (id ^ ": the arena node store is private to lib/dd; construct \
+                     nodes through Dd.make_vnode/make_mnode")
+           | _ -> ())
+        | Pexp_apply (op, [ (_, a); (_, b) ])
+          when ident_in [ "lor"; "Stdlib.lor" ] op
+               && (is_edge_shift a || is_edge_shift b) ->
+          Lint.report ctx ~rule ~loc:e.pexp_loc
+            "raw packed-edge construction ((wid lsl 31) lor tgt) outside \
+             lib/dd; edges must come from the Dd API"
+        | _ -> ())
+
 (* --- todo-marker ------------------------------------------------------ *)
 
 (* The words themselves would trip the scan. qcs-lint: allow todo-marker *)
@@ -375,6 +433,6 @@ let todo_marker =
 
 let all =
   [ float_eq; obj_magic; unsafe_array; catchall_exn; mutex_discipline; naked_hashtbl;
-    printf_in_lib; todo_marker ]
+    printf_in_lib; node_alloc_outside_arena; todo_marker ]
 
 let find name = List.find_opt (fun r -> r.Lint.name = name) all

@@ -19,6 +19,15 @@ type t = {
   buckets : entry list ref Itbl.t;
   mutable next_id : int;
   mutable count : int;
+  (* Dense id -> value reverse maps, the flat companion of the bucket
+     store. [values] holds the physically identical record the bucket
+     entry does (so [canon] and [value_of_id] agree up to [==]); the
+     unboxed [re]/[im] planes let flat kernels read a weight by id
+     without touching a boxed complex. Grown by doubling; [next_id]
+     is the live prefix. *)
+  mutable values : Cnum.t array;
+  mutable re : float array;
+  mutable im : float array;
 }
 
 let zero_id = 0
@@ -40,10 +49,27 @@ let cell t v = int_of_float (Float.floor (v *. t.inv_tolerance))
    entries are verified with a tolerance comparison. *)
 let key cr ci = (cr * 0x1fffffefd) lxor ci
 
+let grow_dense t =
+  let cap = Array.length t.values in
+  let cap' = 2 * cap in
+  let values = Array.make cap' Cnum.zero in
+  Array.blit t.values 0 values 0 cap;
+  t.values <- values;
+  let re = Array.make cap' 0.0 in
+  Array.blit t.re 0 re 0 cap;
+  t.re <- re;
+  let im = Array.make cap' 0.0 in
+  Array.blit t.im 0 im 0 cap;
+  t.im <- im
+
 let add_entry t (value : Cnum.t) =
   let e = { value; id = t.next_id } in
   t.next_id <- t.next_id + 1;
   t.count <- t.count + 1;
+  if t.next_id > Array.length t.values then grow_dense t;
+  t.values.(e.id) <- value;
+  t.re.(e.id) <- value.Cnum.re;
+  t.im.(e.id) <- value.Cnum.im;
   let k = key (cell t value.Cnum.re) (cell t value.Cnum.im) in
   (match Itbl.find_opt t.buckets k with
    | Some l ->
@@ -67,7 +93,10 @@ let create ?(tolerance = Cnum.tolerance) () =
       inv_tolerance = 1.0 /. tolerance;
       buckets = Itbl.create (1 lsl 16);
       next_id = 0;
-      count = 0 }
+      count = 0;
+      values = Array.make (1 lsl 10) Cnum.zero;
+      re = Array.make (1 lsl 10) 0.0;
+      im = Array.make (1 lsl 10) 0.0 }
   in
   seed t;
   t
@@ -118,11 +147,24 @@ let canon t c = (lookup t c).value
 let id t c = (lookup t c).id
 let count t = t.count
 
+let value_of_id t i =
+  if i < 0 || i >= t.next_id then invalid_arg "Ctable.value_of_id";
+  t.values.(i)
+
+let re_array t = t.re
+let im_array t = t.im
+
 let clear t =
   Itbl.reset t.buckets;
   t.next_id <- 0;
   t.count <- 0;
   seed t
 
-(* Entry record (~5 words) + list cons (~3 words) + bucket slot amortized. *)
-let memory_bytes t = t.count * (8 * 10)
+(* Dense reverse arrays are exact (capacity × slot size); the bucket side
+   charges one entry record (~5 words) + one list cons (~3 words) + the
+   amortized bucket slot (~2 words) per representative. *)
+let memory_bytes t =
+  (Array.length t.values * 8)          (* values: one pointer word per slot *)
+  + (Array.length t.re * 8)
+  + (Array.length t.im * 8)
+  + (t.count * 8 * 10)

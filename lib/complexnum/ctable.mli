@@ -32,6 +32,20 @@ val one_id : int
 val count : t -> int
 (** Number of distinct representatives stored. *)
 
+val value_of_id : t -> int -> Cnum.t
+(** Dense reverse lookup: the canonical value whose {!id} was handed out.
+    The returned record is physically the one {!canon} returns for that
+    value. Raises [Invalid_argument] on an id never issued (or issued
+    before the last {!clear}). *)
+
+val re_array : t -> float array
+(** The unboxed real plane of the reverse map, indexed by id. Valid for
+    ids below {!count}; the array itself is replaced when the table grows,
+    so capture it only for the duration of one allocation-free kernel. *)
+
+val im_array : t -> float array
+(** Imaginary plane, same contract as {!re_array}. *)
+
 val clear : t -> unit
 (** Drops every representative except the pre-seeded constants. Any ids
     handed out before [clear] are invalidated. *)

@@ -15,21 +15,33 @@ let c_filled = Obs.counter "convert.filled_amplitudes"
 let c_split_nodes = Obs.counter "convert.split_nodes_visited"
 let s_convert = Obs.span "convert.span"
 
-let sequential ~n e =
+(* The DFS walks run on the raw arena view: packed child edges and unboxed
+   weight planes, no node dereferences. The view stays valid for the whole
+   conversion because nothing allocates DD nodes or interns weights here.
+   The inline complex multiply matches [Cnum.mul] term for term, so the
+   amplitudes are bit-identical to the boxed walk this replaces. *)
+
+let sequential p ~n (e : Dd.vedge) =
   Obs.incr c_seq_runs;
   let buf = Buf.create (1 lsl n) in
-  let rec walk (e : Dd.vedge) offset w =
-    if not (Dd.vedge_is_zero e) then begin
-      let w = Cnum.mul w e.Dd.vw in
-      let node = e.Dd.vtgt in
-      if node == Dd.vterminal then Buf.set buf offset w
+  let v = Dd.vview p in
+  let rec walk (e : int) offset wre wim =
+    if e <> 0 then begin
+      let wid = Dd.edge_wid e in
+      let er = v.Dd.re.(wid) and ei = v.Dd.im.(wid) in
+      let wre' = (wre *. er) -. (wim *. ei)
+      and wim' = (wre *. ei) +. (wim *. er) in
+      let node = Dd.edge_tgt e in
+      if node = 0 then Buf.set buf offset { Cnum.re = wre'; im = wim' }
       else begin
-        walk node.Dd.v0 offset w;
-        walk node.Dd.v1 (offset + (1 lsl node.Dd.vlevel)) w
+        walk v.Dd.ch.(2 * node) offset wre' wim';
+        walk v.Dd.ch.((2 * node) + 1)
+          (offset + (1 lsl v.Dd.lv.(node)))
+          wre' wim'
       end
     end
   in
-  walk e 0 Cnum.one;
+  walk (e :> int) 0 1.0 0.0;
   buf
 
 (* A DFS task converts the sub-tree under [node] (incoming weight already
@@ -38,7 +50,7 @@ let sequential ~n e =
 type task = { t_node : Dd.vnode; t_offset : int; t_weight : Cnum.t }
 type fill = { f_src : int; f_dst : int; f_len : int; f_factor : Cnum.t; f_level : int }
 
-let parallel ~pool ~n e =
+let parallel p ~pool ~n (e : Dd.vedge) =
   Obs.with_span s_convert @@ fun () ->
   let buf = Buf.create (1 lsl n) in
   let threads = Pool.size pool in
@@ -52,7 +64,7 @@ let parallel ~pool ~n e =
      (scalar multiplication), exactly the two cases of Figure 4. *)
   let rec split (node : Dd.vnode) offset weight budget =
     incr split_nodes;
-    if node == Dd.vterminal then begin
+    if node = Dd.vterminal then begin
       tasks := { t_node = node; t_offset = offset; t_weight = weight } :: !tasks;
       incr n_tasks
     end
@@ -61,60 +73,73 @@ let parallel ~pool ~n e =
       incr n_tasks
     end
     else begin
-      let half = 1 lsl node.Dd.vlevel in
-      let e0 = node.Dd.v0 and e1 = node.Dd.v1 in
+      let half = 1 lsl Dd.vlevel p node in
+      let e0 = Dd.v0 p node and e1 = Dd.v1 p node in
       match Dd.vedge_is_zero e0, Dd.vedge_is_zero e1 with
       | true, true -> ()
-      | false, true -> split e0.Dd.vtgt offset (Cnum.mul weight e0.Dd.vw) budget
+      | false, true ->
+        split (Dd.vtgt e0) offset (Cnum.mul weight (Dd.vw p e0)) budget
       | true, false ->
-        split e1.Dd.vtgt (offset + half) (Cnum.mul weight e1.Dd.vw) budget
+        split (Dd.vtgt e1) (offset + half) (Cnum.mul weight (Dd.vw p e1)) budget
       | false, false ->
-        if e0.Dd.vtgt == e1.Dd.vtgt then begin
+        if Dd.vtgt e0 = Dd.vtgt e1 then begin
           (* High half = (w1/w0) × low half: convert only the low half and
              record a fill at this node's level. *)
           fills :=
             { f_src = offset;
               f_dst = offset + half;
               f_len = half;
-              f_factor = Cnum.div e1.Dd.vw e0.Dd.vw;
-              f_level = node.Dd.vlevel }
+              f_factor = Cnum.div (Dd.vw p e1) (Dd.vw p e0);
+              f_level = Dd.vlevel p node }
             :: !fills;
-          split e0.Dd.vtgt offset (Cnum.mul weight e0.Dd.vw) budget
+          split (Dd.vtgt e0) offset (Cnum.mul weight (Dd.vw p e0)) budget
         end
         else begin
           let b0 = budget / 2 in
-          split e0.Dd.vtgt offset (Cnum.mul weight e0.Dd.vw) b0;
-          split e1.Dd.vtgt (offset + half) (Cnum.mul weight e1.Dd.vw) (budget - b0)
+          split (Dd.vtgt e0) offset (Cnum.mul weight (Dd.vw p e0)) b0;
+          split (Dd.vtgt e1) (offset + half)
+            (Cnum.mul weight (Dd.vw p e1))
+            (budget - b0)
         end
     end
   in
-  if not (Dd.vedge_is_zero e) then
-    split e.Dd.vtgt 0 e.Dd.vw target_tasks;
+  if not (Dd.vedge_is_zero e) then split (Dd.vtgt e) 0 (Dd.vw p e) target_tasks;
   (* Phase 2 — DFS conversion of the tasks, drained over the pool. Within
      a task the identical-children case is still exploited sequentially
-     (convert low half, block-scale the high half). *)
+     (convert low half, block-scale the high half). Workers share the view
+     read-only. *)
   let task_array = Array.of_list !tasks in
-  let rec convert (node : Dd.vnode) offset w =
-    if node == Dd.vterminal then Buf.set buf offset w
+  let v = Dd.vview p in
+  let rec convert (node : int) offset wre wim =
+    if node = 0 then Buf.set buf offset { Cnum.re = wre; im = wim }
     else begin
-      let half = 1 lsl node.Dd.vlevel in
-      let e0 = node.Dd.v0 and e1 = node.Dd.v1 in
-      let zero0 = Dd.vedge_is_zero e0 and zero1 = Dd.vedge_is_zero e1 in
-      if (not zero0) && (not zero1) && e0.Dd.vtgt == e1.Dd.vtgt then begin
-        convert e0.Dd.vtgt offset (Cnum.mul w e0.Dd.vw);
+      let half = 1 lsl v.Dd.lv.(node) in
+      let e0 = v.Dd.ch.(2 * node) and e1 = v.Dd.ch.((2 * node) + 1) in
+      let descend (e : int) offset =
+        let wid = Dd.edge_wid e in
+        let er = v.Dd.re.(wid) and ei = v.Dd.im.(wid) in
+        convert (Dd.edge_tgt e) offset
+          ((wre *. er) -. (wim *. ei))
+          ((wre *. ei) +. (wim *. er))
+      in
+      if e0 <> 0 && e1 <> 0 && Dd.edge_tgt e0 = Dd.edge_tgt e1 then begin
+        descend e0 offset;
+        let w0 = Dd.edge_wid e0 and w1 = Dd.edge_wid e1 in
         Buf.scale_into ~src:buf ~src_pos:offset ~dst:buf ~dst_pos:(offset + half)
-          ~len:half (Cnum.div e1.Dd.vw e0.Dd.vw)
+          ~len:half
+          (Cnum.div
+             { Cnum.re = v.Dd.re.(w1); im = v.Dd.im.(w1) }
+             { Cnum.re = v.Dd.re.(w0); im = v.Dd.im.(w0) })
       end
       else begin
-        if not zero0 then convert e0.Dd.vtgt offset (Cnum.mul w e0.Dd.vw);
-        if not zero1 then
-          convert e1.Dd.vtgt (offset + half) (Cnum.mul w e1.Dd.vw)
+        if e0 <> 0 then descend e0 offset;
+        if e1 <> 0 then descend e1 (offset + half)
       end
     end
   in
   Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:(Array.length task_array) (fun i ->
       let t = task_array.(i) in
-      convert t.t_node t.t_offset t.t_weight);
+      convert (Dd.vid t.t_node) t.t_offset t.t_weight.Cnum.re t.t_weight.Cnum.im);
   (* Phase 3 — execute the recorded fills, lowest level first (a fill at
      level l reads only amplitudes produced below level l). Each fill is
      chunked so one huge top-level fill still uses every worker. *)
@@ -140,4 +165,4 @@ let parallel ~pool ~n e =
       fills = List.length fill_list;
       filled_amplitudes = !filled } )
 
-let parallel_ ~pool ~n e = fst (parallel ~pool ~n e)
+let parallel_ p ~pool ~n e = fst (parallel p ~pool ~n e)

@@ -23,10 +23,12 @@ type stats = {
   filled_amplitudes : int;(** amplitudes produced by scaling, not DFS *)
 }
 
-val sequential : n:int -> Dd.vedge -> Buf.t
+val sequential : Dd.package -> n:int -> Dd.vedge -> Buf.t
 
-val parallel : pool:Pool.t -> n:int -> Dd.vedge -> Buf.t * stats
-(** [parallel ~pool ~n e] converts an [n]-qubit state DD rooted at [e]. *)
+val parallel : Dd.package -> pool:Pool.t -> n:int -> Dd.vedge -> Buf.t * stats
+(** [parallel p ~pool ~n e] converts an [n]-qubit state DD rooted at [e].
+    Both walks read the package's raw arena view, so the DD must not be
+    mutated (no node construction, no interning) during the conversion. *)
 
-val parallel_ : pool:Pool.t -> n:int -> Dd.vedge -> Buf.t
+val parallel_ : Dd.package -> pool:Pool.t -> n:int -> Dd.vedge -> Buf.t
 (** {!parallel} without the stats. *)

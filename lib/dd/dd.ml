@@ -1,64 +1,53 @@
-type vnode = {
-  vid : int;
-  vlevel : int;
-  mutable vmark : bool;
-  v0 : vedge;
-  v1 : vedge;
-}
+(* Arena-backed QMDD core.
 
-and vedge = { vtgt : vnode; vw : Cnum.t }
+   Nodes live in flat [Node_store] arenas and are named by integer slot
+   indices; an edge is one packed int carrying (target slot, ctable weight
+   id) — see node_store.ml for the layout. Because the terminal is slot 0
+   and the zero weight is id 0, the zero edge of either kind is literally
+   the integer 0, which keeps the hot-path zero tests branch-cheap.
 
-type mnode = {
-  mid : int;
-  mlevel : int;
-  mutable mmark : bool;
-  e00 : medge;
-  e01 : medge;
-  e10 : medge;
-  e11 : medge;
-}
+   All numeric behavior is inherited from the boxed implementation this
+   replaces: edge weights are canonical ctable values addressed by id, node
+   construction normalizes by the larger-magnitude child weight with the
+   identical division/interning order, and the compute caches factor
+   operand weights out of their keys. The old physical-equality fast path
+   (`w == norm`) becomes weight-id equality — the ctable hands out one
+   record per representative, so the two tests are equivalent.
 
-and medge = { mtgt : mnode; mw : Cnum.t }
+   Reclamation is real here: [compact] marks from the given roots, sweeps
+   both arenas onto their free lists, and bumps the package [epoch] instead
+   of wiping the compute caches; [Dd_cache] rejects entries stamped by an
+   older epoch, so a cache slot keyed on a recycled node index can never be
+   served stale. *)
 
-(* The single shared terminal of each kind, with self-referential zero
-   children that are never followed (vlevel = -1 stops every traversal). *)
-let rec vterminal =
-  { vid = 0; vlevel = -1; vmark = false;
-    v0 = { vtgt = vterminal; vw = Cnum.zero };
-    v1 = { vtgt = vterminal; vw = Cnum.zero } }
+type vnode = int
+type mnode = int
+type vedge = int
+type medge = int
 
-let rec mterminal =
-  { mid = 0; mlevel = -1; mmark = false;
-    e00 = { mtgt = mterminal; mw = Cnum.zero };
-    e01 = { mtgt = mterminal; mw = Cnum.zero };
-    e10 = { mtgt = mterminal; mw = Cnum.zero };
-    e11 = { mtgt = mterminal; mw = Cnum.zero } }
+let[@inline] edge_tgt e = Node_store.tgt e
+let[@inline] edge_wid e = Node_store.wid e
+let[@inline] pack t w = Node_store.pack ~tgt:t ~wid:w
 
-let vzero = { vtgt = vterminal; vw = Cnum.zero }
-let mzero = { mtgt = mterminal; mw = Cnum.zero }
-let vone = { vtgt = vterminal; vw = Cnum.one }
-let mone = { mtgt = mterminal; mw = Cnum.one }
+let vterminal : vnode = 0
+let mterminal : mnode = 0
+let vzero : vedge = 0
+let mzero : medge = 0
+let vone : vedge = pack 0 Ctable.one_id
+let mone : medge = pack 0 Ctable.one_id
 
-let vedge_is_zero e = e.vw.Cnum.re = 0.0 && e.vw.Cnum.im = 0.0
-let medge_is_zero e = e.mw.Cnum.re = 0.0 && e.mw.Cnum.im = 0.0
-
-type vkey = (* key fields are compared structurally by Hashtbl *) { vk_level : int; vk_t0 : int; vk_w0 : int; vk_t1 : int; vk_w1 : int }
-
-type mkey = {
-  mk_level : int;
-  mk_t00 : int; mk_w00 : int;
-  mk_t01 : int; mk_w01 : int;
-  mk_t10 : int; mk_w10 : int;
-  mk_t11 : int; mk_w11 : int;
-}
+(* Constructors collapse every zero-weight edge to the packed 0, so the
+   weight-id test is the whole story. *)
+let[@inline] vedge_is_zero (e : vedge) = edge_wid e = 0
+let[@inline] medge_is_zero (e : medge) = edge_wid e = 0
 
 type package = {
   ct : Ctable.t;
-  vunique : (vkey, vnode) Hashtbl.t;
-  munique : (mkey, mnode) Hashtbl.t;
-  mutable next_id : int;
-  (* Compute caches keyed on node ids (operands' weights are factored out
-     before lookup, see the ops below). *)
+  va : Node_store.t;                  (* vector arena, width 2 *)
+  ma : Node_store.t;                  (* matrix arena, width 4 *)
+  mutable epoch : int;                (* bumped by [compact] *)
+  (* Compute caches keyed on node indices (operands' weights are factored
+     out before lookup, see the ops below). *)
   mv_cache : vedge Dd_cache.Two.t;
   mm_cache : medge Dd_cache.Two.t;
   vadd_cache : vedge Dd_cache.Three.t;
@@ -76,12 +65,17 @@ let c_gc_mnodes_dropped = Obs.counter "dd.gc.mnodes_dropped"
 let g_live_vnodes = Obs.gauge "dd.unique.vnodes.live"
 let g_live_mnodes = Obs.gauge "dd.unique.mnodes.live"
 let g_peak_vnodes = Obs.gauge "dd.unique.vnodes.peak"
+let g_peak_mnodes = Obs.gauge "dd.unique.mnodes.peak"
+let g_varena_capacity = Obs.gauge "dd.arena.vnodes.capacity"
+let g_marena_capacity = Obs.gauge "dd.arena.mnodes.capacity"
+let g_varena_free = Obs.gauge "dd.arena.vnodes.free"
+let g_marena_free = Obs.gauge "dd.arena.mnodes.free"
 
 let create ?tolerance () =
   { ct = Ctable.create ?tolerance ();
-    vunique = Hashtbl.create (1 lsl 14);
-    munique = Hashtbl.create (1 lsl 12);
-    next_id = 1;
+    va = Node_store.create ~width:2 ~capacity:(1 lsl 12);
+    ma = Node_store.create ~width:4 ~capacity:(1 lsl 10);
+    epoch = 0;
     mv_cache = Dd_cache.Two.create ~bits:16 ~label:"mv" vzero;
     mm_cache = Dd_cache.Two.create ~bits:16 ~label:"mm" mzero;
     vadd_cache = Dd_cache.Three.create ~bits:16 ~label:"vadd" vzero;
@@ -89,126 +83,140 @@ let create ?tolerance () =
 
 let ctable p = p.ct
 let vweight p w = Ctable.canon p.ct w
+let epoch p = p.epoch
+
+let[@inline] value p wid = Ctable.value_of_id p.ct wid
+
+(* ------------------------------------------------------------------ *)
+(* Edge and node accessors                                             *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] vtgt (e : vedge) : vnode = edge_tgt e
+let[@inline] mtgt (e : medge) : mnode = edge_tgt e
+let[@inline] vwid (e : vedge) = edge_wid e
+let[@inline] mwid (e : medge) = edge_wid e
+let[@inline] vw p (e : vedge) = value p (edge_wid e)
+let[@inline] mw p (e : medge) = value p (edge_wid e)
+
+let[@inline] vid (n : vnode) = n
+let[@inline] mid (n : mnode) = n
+let[@inline] vlevel p (n : vnode) = Node_store.level p.va n
+let[@inline] mlevel p (n : mnode) = Node_store.level p.ma n
+let[@inline] v0 p (n : vnode) : vedge = Node_store.child2 p.va n 0
+let[@inline] v1 p (n : vnode) : vedge = Node_store.child2 p.va n 1
+
+let mchild p (n : mnode) i j : medge =
+  if i < 0 || i > 1 || j < 0 || j > 1 then invalid_arg "Dd.mchild";
+  Node_store.child4 p.ma n ((2 * i) + j)
+
+let medge_child p (e : medge) i j = mchild p (edge_tgt e) i j
+
+let vterm_edge p (w : Cnum.t) : vedge =
+  let wid = Ctable.id p.ct w in
+  if wid = 0 then vzero else pack 0 wid
+
+let mterm_edge p (w : Cnum.t) : medge =
+  let wid = Ctable.id p.ct w in
+  if wid = 0 then mzero else pack 0 wid
+
+let[@inline] vunit (n : vnode) : vedge = pack n Ctable.one_id
+let[@inline] munit (n : mnode) : medge = pack n Ctable.one_id
 
 (* ------------------------------------------------------------------ *)
 (* Normalized node construction                                        *)
 (* ------------------------------------------------------------------ *)
 
-let canon_vedge p e =
-  let w = Ctable.canon p.ct e.vw in
-  if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then vzero else { e with vw = w }
-
-let canon_medge p e =
-  let w = Ctable.canon p.ct e.mw in
-  if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then mzero else { e with mw = w }
-
-let make_vnode p level e0 e1 =
+let make_vnode p level (e0 : vedge) (e1 : vedge) : vedge =
   assert (level >= 0);
-  let e0 = canon_vedge p e0 and e1 = canon_vedge p e1 in
-  if vedge_is_zero e0 && vedge_is_zero e1 then vzero
+  if e0 = 0 && e1 = 0 then vzero
   else begin
-    assert (vedge_is_zero e0 || e0.vtgt.vlevel = level - 1);
-    assert (vedge_is_zero e1 || e1.vtgt.vlevel = level - 1);
+    assert (vedge_is_zero e0 || Node_store.level p.va (edge_tgt e0) = level - 1);
+    assert (vedge_is_zero e1 || Node_store.level p.va (edge_tgt e1) = level - 1);
     (* Normalize by the larger-magnitude weight (ties favor the low edge),
        so equal sub-vectors always produce the identical node. *)
-    let n0 = Cnum.norm2 e0.vw and n1 = Cnum.norm2 e1.vw in
-    let norm = if n1 > n0 then e1.vw else e0.vw in
-    let divn (w : Cnum.t) =
-      if w == norm then Cnum.one
-      else if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then Cnum.zero
-      else Ctable.canon p.ct (Cnum.div w norm)
+    let w0in = edge_wid e0 and w1in = edge_wid e1 in
+    let v0in = value p w0in and v1in = value p w1in in
+    let n0 = Cnum.norm2 v0in and n1 = Cnum.norm2 v1in in
+    let normid, norm = if n1 > n0 then w1in, v1in else w0in, v0in in
+    let divn (wid : int) (wv : Cnum.t) =
+      if wid = normid then Ctable.one_id
+      else if wid = 0 then 0
+      else Ctable.id p.ct (Cnum.div wv norm)
     in
-    let w0 = divn e0.vw and w1 = divn e1.vw in
-    let key =
-      { vk_level = level;
-        vk_t0 = e0.vtgt.vid; vk_w0 = Ctable.id p.ct w0;
-        vk_t1 = e1.vtgt.vid; vk_w1 = Ctable.id p.ct w1 }
-    in
+    let w0 = divn w0in v0in and w1 = divn w1in v1in in
+    let c0 = if w0 = 0 then vzero else pack (edge_tgt e0) w0 in
+    let c1 = if w1 = 0 then vzero else pack (edge_tgt e1) w1 in
     let node =
-      match Hashtbl.find_opt p.vunique key with
-      | Some n ->
+      match Node_store.find2 p.va ~level c0 c1 with
+      | n when n >= 0 ->
         Obs.incr c_vnodes_reused;
         n
-      | None ->
-        let n =
-          { vid = p.next_id; vlevel = level; vmark = false;
-            v0 = (if Cnum.is_zero ~tol:0.0 w0 then vzero else { vtgt = e0.vtgt; vw = w0 });
-            v1 = (if Cnum.is_zero ~tol:0.0 w1 then vzero else { vtgt = e1.vtgt; vw = w1 }) }
-        in
-        p.next_id <- p.next_id + 1;
-        Hashtbl.add p.vunique key n;
+      | _ ->
+        let n = Node_store.alloc2 p.va ~level c0 c1 in
         if Obs.enabled () then begin
           Obs.incr c_vnodes_created;
-          Obs.max_gauge g_peak_vnodes (Hashtbl.length p.vunique)
+          Obs.max_gauge g_peak_vnodes (Node_store.live p.va)
         end;
         n
     in
-    { vtgt = node; vw = norm }
+    pack node normid
   end
 
-let make_mnode p level e00 e01 e10 e11 =
+let make_mnode p level (e00 : medge) (e01 : medge) (e10 : medge)
+    (e11 : medge) : medge =
   assert (level >= 0);
-  let e00 = canon_medge p e00 and e01 = canon_medge p e01 in
-  let e10 = canon_medge p e10 and e11 = canon_medge p e11 in
-  if medge_is_zero e00 && medge_is_zero e01 && medge_is_zero e10 && medge_is_zero e11
-  then mzero
+  if e00 = 0 && e01 = 0 && e10 = 0 && e11 = 0 then mzero
   else begin
-    let pick best e = if Cnum.norm2 e.mw > Cnum.norm2 best then e.mw else best in
-    let norm = pick (pick (pick (pick Cnum.zero e00) e01) e10) e11 in
-    let div e =
-      if medge_is_zero e then mzero
+    (* Largest-magnitude weight wins; ties favor the earlier edge in
+       row-major order (the fold starts from the zero weight). *)
+    let normid = ref 0 and normn = ref 0.0 in
+    let pick (e : medge) =
+      let wid = edge_wid e in
+      let n = Cnum.norm2 (value p wid) in
+      if n > !normn then begin
+        normid := wid;
+        normn := n
+      end
+    in
+    pick e00; pick e01; pick e10; pick e11;
+    let norm = value p !normid in
+    let div (e : medge) : medge =
+      if e = 0 then mzero
       else
-        let w = Ctable.canon p.ct (Cnum.div e.mw norm) in
-        if w.Cnum.re = 0.0 && w.Cnum.im = 0.0 then mzero else { e with mw = w }
+        let w = Ctable.id p.ct (Cnum.div (value p (edge_wid e)) norm) in
+        if w = 0 then mzero else pack (edge_tgt e) w
     in
     let d00 = div e00 and d01 = div e01 and d10 = div e10 and d11 = div e11 in
-    let key =
-      { mk_level = level;
-        mk_t00 = d00.mtgt.mid; mk_w00 = Ctable.id p.ct d00.mw;
-        mk_t01 = d01.mtgt.mid; mk_w01 = Ctable.id p.ct d01.mw;
-        mk_t10 = d10.mtgt.mid; mk_w10 = Ctable.id p.ct d10.mw;
-        mk_t11 = d11.mtgt.mid; mk_w11 = Ctable.id p.ct d11.mw }
-    in
     let node =
-      match Hashtbl.find_opt p.munique key with
-      | Some n ->
+      match Node_store.find4 p.ma ~level d00 d01 d10 d11 with
+      | n when n >= 0 ->
         Obs.incr c_mnodes_reused;
         n
-      | None ->
-        let n =
-          { mid = p.next_id; mlevel = level; mmark = false;
-            e00 = d00; e01 = d01; e10 = d10; e11 = d11 }
-        in
-        p.next_id <- p.next_id + 1;
-        Hashtbl.add p.munique key n;
-        Obs.incr c_mnodes_created;
+      | _ ->
+        let n = Node_store.alloc4 p.ma ~level d00 d01 d10 d11 in
+        if Obs.enabled () then begin
+          Obs.incr c_mnodes_created;
+          Obs.max_gauge g_peak_mnodes (Node_store.live p.ma)
+        end;
         n
     in
-    { mtgt = node; mw = Ctable.canon p.ct norm }
+    pack node !normid
   end
 
 (* The normalization invariant: in [make_mnode] the pick starts from zero
    weight; at least one edge is non-zero so [norm] is non-zero. *)
 
-let vscale p e w =
-  if vedge_is_zero e then vzero
+let vscale p (e : vedge) (w : Cnum.t) : vedge =
+  if e = 0 then vzero
   else
-    let w' = Ctable.canon p.ct (Cnum.mul e.vw w) in
-    if w'.Cnum.re = 0.0 && w'.Cnum.im = 0.0 then vzero else { e with vw = w' }
+    let w' = Ctable.id p.ct (Cnum.mul (value p (edge_wid e)) w) in
+    if w' = 0 then vzero else pack (edge_tgt e) w'
 
-let mscale p e w =
-  if medge_is_zero e then mzero
+let mscale p (e : medge) (w : Cnum.t) : medge =
+  if e = 0 then mzero
   else
-    let w' = Ctable.canon p.ct (Cnum.mul e.mw w) in
-    if w'.Cnum.re = 0.0 && w'.Cnum.im = 0.0 then mzero else { e with mw = w' }
-
-let medge_child e i j =
-  match i, j with
-  | 0, 0 -> e.mtgt.e00
-  | 0, 1 -> e.mtgt.e01
-  | 1, 0 -> e.mtgt.e10
-  | 1, 1 -> e.mtgt.e11
-  | _ -> invalid_arg "Dd.medge_child"
+    let w' = Ctable.id p.ct (Cnum.mul (value p (edge_wid e)) w) in
+    if w' = 0 then mzero else pack (edge_tgt e) w'
 
 (* ------------------------------------------------------------------ *)
 (* Addition                                                            *)
@@ -216,57 +224,58 @@ let medge_child e i j =
 
 (* a + b with a = wa·A, b = wb·B  =  wa · (A + (wb/wa)·B); the cache is
    keyed on (A, B, wb/wa), making hits independent of common factors. *)
-let rec vadd p a b =
-  if vedge_is_zero a then b
-  else if vedge_is_zero b then a
-  else if a.vtgt == vterminal then
-    { vtgt = vterminal; vw = Ctable.canon p.ct (Cnum.add a.vw b.vw) }
+let rec vadd p (a : vedge) (b : vedge) : vedge =
+  if a = 0 then b
+  else if b = 0 then a
+  else if edge_tgt a = 0 then begin
+    let wid = Ctable.id p.ct (Cnum.add (vw p a) (vw p b)) in
+    if wid = 0 then vzero else pack 0 wid
+  end
   else begin
-    assert (a.vtgt.vlevel = b.vtgt.vlevel);
-    let ratio = Ctable.canon p.ct (Cnum.div b.vw a.vw) in
-    let rid = Ctable.id p.ct ratio in
-    let cached =
-      match Dd_cache.Three.find p.vadd_cache a.vtgt.vid b.vtgt.vid rid with
-      | Some r -> Some r
-      | None -> None
-    in
+    let at = edge_tgt a and bt = edge_tgt b in
+    assert (Node_store.level p.va at = Node_store.level p.va bt);
+    let rid = Ctable.id p.ct (Cnum.div (vw p b) (vw p a)) in
+    let ratio = value p rid in
     let unit_sum =
-      match cached with
+      match Dd_cache.Three.find p.vadd_cache ~epoch:p.epoch at bt rid with
       | Some r -> r
       | None ->
-        let av = a.vtgt and bv = b.vtgt in
-        let r0 = vadd p av.v0 (vscale p bv.v0 ratio) in
-        let r1 = vadd p av.v1 (vscale p bv.v1 ratio) in
-        let r = make_vnode p av.vlevel r0 r1 in
-        Dd_cache.Three.store p.vadd_cache av.vid bv.vid rid r;
+        let r0 = vadd p (v0 p at) (vscale p (v0 p bt) ratio) in
+        let r1 = vadd p (v1 p at) (vscale p (v1 p bt) ratio) in
+        let r = make_vnode p (Node_store.level p.va at) r0 r1 in
+        Dd_cache.Three.store p.vadd_cache ~epoch:p.epoch at bt rid r;
         r
     in
-    vscale p unit_sum a.vw
+    vscale p unit_sum (vw p a)
   end
 
-let rec madd p a b =
-  if medge_is_zero a then b
-  else if medge_is_zero b then a
-  else if a.mtgt == mterminal then
-    { mtgt = mterminal; mw = Ctable.canon p.ct (Cnum.add a.mw b.mw) }
+let rec madd p (a : medge) (b : medge) : medge =
+  if a = 0 then b
+  else if b = 0 then a
+  else if edge_tgt a = 0 then begin
+    let wid = Ctable.id p.ct (Cnum.add (mw p a) (mw p b)) in
+    if wid = 0 then mzero else pack 0 wid
+  end
   else begin
-    assert (a.mtgt.mlevel = b.mtgt.mlevel);
-    let ratio = Ctable.canon p.ct (Cnum.div b.mw a.mw) in
-    let rid = Ctable.id p.ct ratio in
+    let at = edge_tgt a and bt = edge_tgt b in
+    assert (Node_store.level p.ma at = Node_store.level p.ma bt);
+    let rid = Ctable.id p.ct (Cnum.div (mw p b) (mw p a)) in
+    let ratio = value p rid in
     let unit_sum =
-      match Dd_cache.Three.find p.madd_cache a.mtgt.mid b.mtgt.mid rid with
+      match Dd_cache.Three.find p.madd_cache ~epoch:p.epoch at bt rid with
       | Some r -> r
       | None ->
-        let am = a.mtgt and bm = b.mtgt in
-        let r00 = madd p am.e00 (mscale p bm.e00 ratio) in
-        let r01 = madd p am.e01 (mscale p bm.e01 ratio) in
-        let r10 = madd p am.e10 (mscale p bm.e10 ratio) in
-        let r11 = madd p am.e11 (mscale p bm.e11 ratio) in
-        let r = make_mnode p am.mlevel r00 r01 r10 r11 in
-        Dd_cache.Three.store p.madd_cache am.mid bm.mid rid r;
+        let ch i = Node_store.child4 p.ma at i
+        and bch i = Node_store.child4 p.ma bt i in
+        let r00 = madd p (ch 0) (mscale p (bch 0) ratio) in
+        let r01 = madd p (ch 1) (mscale p (bch 1) ratio) in
+        let r10 = madd p (ch 2) (mscale p (bch 2) ratio) in
+        let r11 = madd p (ch 3) (mscale p (bch 3) ratio) in
+        let r = make_mnode p (Node_store.level p.ma at) r00 r01 r10 r11 in
+        Dd_cache.Three.store p.madd_cache ~epoch:p.epoch at bt rid r;
         r
     in
-    mscale p unit_sum a.mw
+    mscale p unit_sum (mw p a)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -277,138 +286,152 @@ let rec madd p a b =
    incoming weights were 1, and the caller scales the result, so the cache
    is keyed on the node pair alone. *)
 let rec mv_nodes p (m : mnode) (v : vnode) : vedge =
-  if m == mterminal then begin
-    assert (v == vterminal);
+  if m = 0 then begin
+    assert (v = 0);
     vone
   end
   else
-    match Dd_cache.Two.find p.mv_cache m.mid v.vid with
+    match Dd_cache.Two.find p.mv_cache ~epoch:p.epoch m v with
     | Some r -> r
     | None ->
-      assert (m.mlevel = v.vlevel);
-      let part me ve =
-        if medge_is_zero me || vedge_is_zero ve then vzero
+      assert (Node_store.level p.ma m = Node_store.level p.va v);
+      let part (me : medge) (ve : vedge) =
+        if me = 0 || ve = 0 then vzero
         else
-          let sub = mv_nodes p me.mtgt ve.vtgt in
-          vscale p sub (Cnum.mul me.mw ve.vw)
+          let sub = mv_nodes p (edge_tgt me) (edge_tgt ve) in
+          vscale p sub (Cnum.mul (mw p me) (vw p ve))
       in
-      let r0 = vadd p (part m.e00 v.v0) (part m.e01 v.v1) in
-      let r1 = vadd p (part m.e10 v.v0) (part m.e11 v.v1) in
-      let r = make_vnode p m.mlevel r0 r1 in
-      Dd_cache.Two.store p.mv_cache m.mid v.vid r;
+      let mc i = Node_store.child4 p.ma m i in
+      let vl = v0 p v and vh = v1 p v in
+      let r0 = vadd p (part (mc 0) vl) (part (mc 1) vh) in
+      let r1 = vadd p (part (mc 2) vl) (part (mc 3) vh) in
+      let r = make_vnode p (Node_store.level p.ma m) r0 r1 in
+      Dd_cache.Two.store p.mv_cache ~epoch:p.epoch m v r;
       r
 
-let mv p (me : medge) (ve : vedge) =
-  if medge_is_zero me || vedge_is_zero ve then vzero
+let mv p (me : medge) (ve : vedge) : vedge =
+  if me = 0 || ve = 0 then vzero
   else
-    let r = mv_nodes p me.mtgt ve.vtgt in
-    vscale p r (Cnum.mul me.mw ve.vw)
+    let r = mv_nodes p (edge_tgt me) (edge_tgt ve) in
+    vscale p r (Cnum.mul (mw p me) (vw p ve))
 
 let rec mm_nodes p (a : mnode) (b : mnode) : medge =
-  if a == mterminal then begin
-    assert (b == mterminal);
+  if a = 0 then begin
+    assert (b = 0);
     mone
   end
   else
-    match Dd_cache.Two.find p.mm_cache a.mid b.mid with
+    match Dd_cache.Two.find p.mm_cache ~epoch:p.epoch a b with
     | Some r -> r
     | None ->
-      assert (a.mlevel = b.mlevel);
-      let part ae be =
-        if medge_is_zero ae || medge_is_zero be then mzero
+      assert (Node_store.level p.ma a = Node_store.level p.ma b);
+      let part (ae : medge) (be : medge) =
+        if ae = 0 || be = 0 then mzero
         else
-          let sub = mm_nodes p ae.mtgt be.mtgt in
-          mscale p sub (Cnum.mul ae.mw be.mw)
+          let sub = mm_nodes p (edge_tgt ae) (edge_tgt be) in
+          mscale p sub (Cnum.mul (mw p ae) (mw p be))
       in
+      let ac i = Node_store.child4 p.ma a i
+      and bc i = Node_store.child4 p.ma b i in
       (* (A·B)_ij = Σ_k A_ik B_kj over the 2×2 block structure. *)
-      let r00 = madd p (part a.e00 b.e00) (part a.e01 b.e10) in
-      let r01 = madd p (part a.e00 b.e01) (part a.e01 b.e11) in
-      let r10 = madd p (part a.e10 b.e00) (part a.e11 b.e10) in
-      let r11 = madd p (part a.e10 b.e01) (part a.e11 b.e11) in
-      let r = make_mnode p a.mlevel r00 r01 r10 r11 in
-      Dd_cache.Two.store p.mm_cache a.mid b.mid r;
+      let r00 = madd p (part (ac 0) (bc 0)) (part (ac 1) (bc 2)) in
+      let r01 = madd p (part (ac 0) (bc 1)) (part (ac 1) (bc 3)) in
+      let r10 = madd p (part (ac 2) (bc 0)) (part (ac 3) (bc 2)) in
+      let r11 = madd p (part (ac 2) (bc 1)) (part (ac 3) (bc 3)) in
+      let r = make_mnode p (Node_store.level p.ma a) r00 r01 r10 r11 in
+      Dd_cache.Two.store p.mm_cache ~epoch:p.epoch a b r;
       r
 
-let mm p (ae : medge) (be : medge) =
-  if medge_is_zero ae || medge_is_zero be then mzero
+let mm p (ae : medge) (be : medge) : medge =
+  if ae = 0 || be = 0 then mzero
   else
-    let r = mm_nodes p ae.mtgt be.mtgt in
-    mscale p r (Cnum.mul ae.mw be.mw)
+    let r = mm_nodes p (edge_tgt ae) (edge_tgt be) in
+    mscale p r (Cnum.mul (mw p ae) (mw p be))
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let rec mark_v acc (n : vnode) =
-  if n != vterminal && not n.vmark then begin
-    n.vmark <- true;
+let rec mark_v p acc (n : vnode) =
+  if n <> 0 && not (Node_store.marked p.va n) then begin
+    Node_store.set_mark p.va n;
     incr acc;
-    if not (vedge_is_zero n.v0) then mark_v acc n.v0.vtgt;
-    if not (vedge_is_zero n.v1) then mark_v acc n.v1.vtgt
+    let c0 = v0 p n and c1 = v1 p n in
+    if c0 <> 0 then mark_v p acc (edge_tgt c0);
+    if c1 <> 0 then mark_v p acc (edge_tgt c1)
   end
 
-let rec unmark_v (n : vnode) =
-  if n != vterminal && n.vmark then begin
-    n.vmark <- false;
-    if not (vedge_is_zero n.v0) then unmark_v n.v0.vtgt;
-    if not (vedge_is_zero n.v1) then unmark_v n.v1.vtgt
+let rec unmark_v p (n : vnode) =
+  if n <> 0 && Node_store.marked p.va n then begin
+    Node_store.clear_mark p.va n;
+    let c0 = v0 p n and c1 = v1 p n in
+    if c0 <> 0 then unmark_v p (edge_tgt c0);
+    if c1 <> 0 then unmark_v p (edge_tgt c1)
   end
 
-let vnode_count e =
-  if vedge_is_zero e then 0
+let vnode_count p (e : vedge) =
+  if e = 0 then 0
   else begin
     let acc = ref 0 in
-    mark_v acc e.vtgt;
-    unmark_v e.vtgt;
+    mark_v p acc (edge_tgt e);
+    unmark_v p (edge_tgt e);
     !acc
   end
 
-let rec mark_m acc (n : mnode) =
-  if n != mterminal && not n.mmark then begin
-    n.mmark <- true;
+let rec mark_m p acc (n : mnode) =
+  if n <> 0 && not (Node_store.marked p.ma n) then begin
+    Node_store.set_mark p.ma n;
     incr acc;
-    let visit e = if not (medge_is_zero e) then mark_m acc e.mtgt in
-    visit n.e00; visit n.e01; visit n.e10; visit n.e11
+    for k = 0 to 3 do
+      let c = Node_store.child4 p.ma n k in
+      if c <> 0 then mark_m p acc (edge_tgt c)
+    done
   end
 
-let rec unmark_m (n : mnode) =
-  if n != mterminal && n.mmark then begin
-    n.mmark <- false;
-    let visit e = if not (medge_is_zero e) then unmark_m e.mtgt in
-    visit n.e00; visit n.e01; visit n.e10; visit n.e11
+let rec unmark_m p (n : mnode) =
+  if n <> 0 && Node_store.marked p.ma n then begin
+    Node_store.clear_mark p.ma n;
+    for k = 0 to 3 do
+      let c = Node_store.child4 p.ma n k in
+      if c <> 0 then unmark_m p (edge_tgt c)
+    done
   end
 
-let mnode_count e =
-  if medge_is_zero e then 0
+let mnode_count p (e : medge) =
+  if e = 0 then 0
   else begin
     let acc = ref 0 in
-    mark_m acc e.mtgt;
-    unmark_m e.mtgt;
+    mark_m p acc (edge_tgt e);
+    unmark_m p (edge_tgt e);
     !acc
   end
 
-let vamplitude e i =
+let vamplitude p (e : vedge) i =
   let rec go (e : vedge) acc =
-    if vedge_is_zero e then Cnum.zero
+    if e = 0 then Cnum.zero
     else begin
-      let acc = Cnum.mul acc e.vw in
-      let n = e.vtgt in
-      if n == vterminal then acc
-      else go (if Bits.bit i n.vlevel = 0 then n.v0 else n.v1) acc
+      let acc = Cnum.mul acc (vw p e) in
+      let n = edge_tgt e in
+      if n = 0 then acc
+      else
+        go
+          (Node_store.child2 p.va n (Bits.bit i (Node_store.level p.va n)))
+          acc
     end
   in
   go e Cnum.one
 
-let mentry e row col =
+let mentry p (e : medge) row col =
   let rec go (e : medge) acc =
-    if medge_is_zero e then Cnum.zero
+    if e = 0 then Cnum.zero
     else begin
-      let acc = Cnum.mul acc e.mw in
-      let n = e.mtgt in
-      if n == mterminal then acc
+      let acc = Cnum.mul acc (mw p e) in
+      let n = edge_tgt e in
+      if n = 0 then acc
       else
-        let i = Bits.bit row n.mlevel and j = Bits.bit col n.mlevel in
-        go (medge_child e i j) acc
+        let lvl = Node_store.level p.ma n in
+        let i = Bits.bit row lvl and j = Bits.bit col lvl in
+        go (Node_store.child4 p.ma n ((2 * i) + j)) acc
     end
   in
   go e Cnum.one
@@ -425,46 +448,47 @@ let clear_compute_caches p =
 
 let compact p ~vroots ~mroots =
   let acc = ref 0 in
-  let v_before = Hashtbl.length p.vunique and m_before = Hashtbl.length p.munique in
-  List.iter (fun e -> if not (vedge_is_zero e) then mark_v acc e.vtgt) vroots;
-  List.iter (fun e -> if not (medge_is_zero e) then mark_m acc e.mtgt) mroots;
-  (* Sweep: unique-table entries whose node is unmarked are dropped; the
-     OCaml GC then reclaims the node records themselves. *)
-  Hashtbl.filter_map_inplace
-    (fun _k n -> if n.vmark then Some n else None)
-    p.vunique;
-  Hashtbl.filter_map_inplace
-    (fun _k n -> if n.mmark then Some n else None)
-    p.munique;
-  List.iter (fun e -> if not (vedge_is_zero e) then unmark_v e.vtgt) vroots;
-  List.iter (fun e -> if not (medge_is_zero e) then unmark_m e.mtgt) mroots;
+  List.iter (fun (e : vedge) -> if e <> 0 then mark_v p acc (edge_tgt e)) vroots;
+  List.iter (fun (e : medge) -> if e <> 0 then mark_m p acc (edge_tgt e)) mroots;
+  (* Sweep pushes every unmarked slot onto the arena free list (the next
+     allocation reuses it) and clears all marks. *)
+  let v_dropped = Node_store.sweep p.va in
+  let m_dropped = Node_store.sweep p.ma in
+  (* Entering a new epoch invalidates every compute-cache entry stored so
+     far: a recycled index can never alias a pre-GC result. *)
+  p.epoch <- p.epoch + 1;
   if Obs.enabled () then begin
     Obs.incr c_gc_runs;
-    Obs.add c_gc_vnodes_dropped (v_before - Hashtbl.length p.vunique);
-    Obs.add c_gc_mnodes_dropped (m_before - Hashtbl.length p.munique);
-    Obs.set_gauge g_live_vnodes (Hashtbl.length p.vunique);
-    Obs.set_gauge g_live_mnodes (Hashtbl.length p.munique)
-  end;
-  clear_compute_caches p
+    Obs.add c_gc_vnodes_dropped v_dropped;
+    Obs.add c_gc_mnodes_dropped m_dropped;
+    Obs.set_gauge g_live_vnodes (Node_store.live p.va);
+    Obs.set_gauge g_live_mnodes (Node_store.live p.ma);
+    Obs.set_gauge g_varena_free (Node_store.free_slots p.va);
+    Obs.set_gauge g_marena_free (Node_store.free_slots p.ma)
+  end
 
-let live_vnodes p = Hashtbl.length p.vunique
-let live_mnodes p = Hashtbl.length p.munique
+let live_vnodes p = Node_store.live p.va
+let live_mnodes p = Node_store.live p.ma
+let vfree_slots p = Node_store.free_slots p.va
+let mfree_slots p = Node_store.free_slots p.ma
+let varena_capacity p = Node_store.capacity p.va
+let marena_capacity p = Node_store.capacity p.ma
 
-(* Push the current table sizes into the metrics gauges; the simulator calls
-   this at phase boundaries so DD-only runs also report them. *)
+(* Push the current arena occupancy into the metrics gauges; the simulator
+   calls this at phase boundaries so DD-only runs also report them. *)
 let observe_gauges p =
   Obs.set_gauge g_live_vnodes (live_vnodes p);
-  Obs.set_gauge g_live_mnodes (live_mnodes p)
+  Obs.set_gauge g_live_mnodes (live_mnodes p);
+  Obs.set_gauge g_varena_capacity (varena_capacity p);
+  Obs.set_gauge g_marena_capacity (marena_capacity p);
+  Obs.set_gauge g_varena_free (vfree_slots p);
+  Obs.set_gauge g_marena_free (mfree_slots p)
 
-(* OCaml-runtime size estimates per node: record header + fields, boxed
-   edges and complex weights. Documented in DESIGN.md as the stand-in for
-   the paper's RSS measurements. *)
-let vnode_bytes = 8 * (6 + (2 * 6))
-let mnode_bytes = 8 * (8 + (4 * 6))
-
+(* Exact accounting: every byte below comes from an actual array capacity
+   (arenas, ctable dense maps, cache slabs) — no per-node estimates. *)
 let memory_bytes p =
-  (live_vnodes p * (vnode_bytes + 6 * 8))
-  + (live_mnodes p * (mnode_bytes + 10 * 8))
+  Node_store.memory_bytes p.va
+  + Node_store.memory_bytes p.ma
   + Ctable.memory_bytes p.ct
   + Dd_cache.Two.memory_bytes p.mv_cache
   + Dd_cache.Two.memory_bytes p.mm_cache
@@ -473,7 +497,37 @@ let memory_bytes p =
 
 let stats p =
   Printf.sprintf
-    "vnodes=%d mnodes=%d cvalues=%d mv_hits=%d mv_misses=%d mem=%dKB"
-    (live_vnodes p) (live_mnodes p) (Ctable.count p.ct)
+    "vnodes=%d/%d mnodes=%d/%d vfree=%d mfree=%d cvalues=%d mv=%d/%d mm=%d/%d \
+     vadd=%d/%d madd=%d/%d mem=%dKB"
+    (live_vnodes p) (varena_capacity p)
+    (live_mnodes p) (marena_capacity p)
+    (vfree_slots p) (mfree_slots p)
+    (Ctable.count p.ct)
     p.mv_cache.Dd_cache.Two.hits p.mv_cache.Dd_cache.Two.misses
+    p.mm_cache.Dd_cache.Two.hits p.mm_cache.Dd_cache.Two.misses
+    p.vadd_cache.Dd_cache.Three.hits p.vadd_cache.Dd_cache.Three.misses
+    p.madd_cache.Dd_cache.Three.hits p.madd_cache.Dd_cache.Three.misses
     (memory_bytes p / 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Raw kernel views                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type view = {
+  lv : int array;    (* slot -> level (-1 terminal, -2 free) *)
+  ch : int array;    (* packed child edges, arena width per slot *)
+  re : float array;  (* weight id -> real part *)
+  im : float array;  (* weight id -> imaginary part *)
+}
+
+let vview p =
+  { lv = Node_store.level_array p.va;
+    ch = Node_store.child_array p.va;
+    re = Ctable.re_array p.ct;
+    im = Ctable.im_array p.ct }
+
+let mview p =
+  { lv = Node_store.level_array p.ma;
+    ch = Node_store.child_array p.ma;
+    re = Ctable.re_array p.ct;
+    im = Ctable.im_array p.ct }

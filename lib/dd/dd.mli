@@ -1,4 +1,4 @@
-(** Quantum decision diagrams (QMDD-style).
+(** Quantum decision diagrams (QMDD-style) on flat arena storage.
 
     Vectors and matrices are represented as weighted DAGs: a node at level
     [l] (the qubit index) has two (vector) or four (matrix) outgoing edges
@@ -8,37 +8,30 @@
     weights are normalized by the largest-magnitude weight, snapped to the
     package's complex table, and deduplicated through a unique table, so
     structurally equal sub-vectors/-matrices are physically shared and
-    comparable by id.
+    comparable by index.
+
+    Nodes live in index-based arenas ({!Node_store}): a {!vnode}/{!mnode}
+    is a slot index, and an edge is a single packed int carrying the target
+    index and the ctable id of its weight. Reading a node's fields
+    therefore needs the owning {!package}. Slot 0 is the terminal and
+    weight id 0 is the zero weight, so the zero edge of either kind is the
+    integer 0.
 
     Non-zero edges never skip levels; zero sub-trees are represented by
-    the {e zero edge} (weight 0 to the terminal) at any level. These two
-    invariants let every traversal pair matrix and vector nodes level by
-    level, which the DMAV kernels rely on.
+    the {e zero edge} at any level. These two invariants let every
+    traversal pair matrix and vector nodes level by level, which the DMAV
+    kernels rely on.
 
-    A {!package} owns the tables. Nodes from different packages must not
-    be mixed. *)
+    A {!package} owns the arenas and tables. Indices from different
+    packages must not be mixed. {!compact} really reclaims: swept slots go
+    onto a free list and are reissued by later allocations, while the
+    package epoch stamp keeps the compute caches from ever serving an
+    entry recorded against a recycled index. *)
 
-type vnode = private {
-  vid : int;
-  vlevel : int;                   (** -1 for the terminal *)
-  mutable vmark : bool;           (** traversal scratch bit *)
-  v0 : vedge;
-  v1 : vedge;
-}
-
-and vedge = { vtgt : vnode; vw : Cnum.t }
-
-type mnode = private {
-  mid : int;
-  mlevel : int;
-  mutable mmark : bool;
-  e00 : medge;
-  e01 : medge;
-  e10 : medge;
-  e11 : medge;
-}
-
-and medge = { mtgt : mnode; mw : Cnum.t }
+type vnode = private int
+type mnode = private int
+type vedge = private int
+type medge = private int
 
 type package
 
@@ -52,12 +45,58 @@ val vzero : vedge
 val mzero : medge
 val vedge_is_zero : vedge -> bool
 val medge_is_zero : medge -> bool
+
 val vone : vedge
 (** Terminal edge with weight 1 (the scalar 1 as a 0-qubit vector). *)
 
 val mone : medge
 
+(** {1 Edge and node accessors} *)
+
+val vtgt : vedge -> vnode
+val mtgt : medge -> mnode
+
+val vwid : vedge -> int
+(** Ctable id of the edge weight; 0 iff the edge is the zero edge. *)
+
+val mwid : medge -> int
+
+val vw : package -> vedge -> Cnum.t
+(** The edge weight, resolved through the package's complex table. *)
+
+val mw : package -> medge -> Cnum.t
+
+val vid : vnode -> int
+(** The arena slot index (0 for the terminal). Stable for the node's
+    lifetime; reissued to a new node only after a {!compact} frees it. *)
+
+val mid : mnode -> int
+
+val vlevel : package -> vnode -> int
+(** Qubit level; -1 for the terminal. *)
+
+val mlevel : package -> mnode -> int
+val v0 : package -> vnode -> vedge
+val v1 : package -> vnode -> vedge
+
+val mchild : package -> mnode -> int -> int -> medge
+(** [mchild p n i j] is row [i], column [j] outgoing edge of node [n]. *)
+
+val medge_child : package -> medge -> int -> int -> medge
+(** [medge_child p e i j] is [mchild p (mtgt e) i j]. *)
+
 (** {1 Construction} *)
+
+val vterm_edge : package -> Cnum.t -> vedge
+(** Terminal edge with the given weight, interned through the package's
+    table (a weight within tolerance of zero yields the zero edge). *)
+
+val mterm_edge : package -> Cnum.t -> medge
+
+val vunit : vnode -> vedge
+(** Edge to an existing node with weight 1. *)
+
+val munit : mnode -> medge
 
 val make_vnode : package -> int -> vedge -> vedge -> vedge
 (** [make_vnode p level e0 e1] is the normalized, deduplicated edge to the
@@ -73,11 +112,9 @@ val vscale : package -> vedge -> Cnum.t -> vedge
     zero edge). *)
 
 val mscale : package -> medge -> Cnum.t -> medge
+
 val vweight : package -> Cnum.t -> Cnum.t
 (** Canonicalizes a raw complex weight through the package's table. *)
-
-val medge_child : medge -> int -> int -> medge
-(** [medge_child e i j] is row [i], column [j] outgoing edge of [e.mtgt]. *)
 
 (** {1 Arithmetic} *)
 
@@ -94,17 +131,17 @@ val mm : package -> medge -> medge -> medge
 
 (** {1 Inspection} *)
 
-val vnode_count : vedge -> int
+val vnode_count : package -> vedge -> int
 (** Number of distinct nodes reachable from the edge (excluding the
     terminal) — the paper's "DD size" [s_i]. *)
 
-val mnode_count : medge -> int
+val mnode_count : package -> medge -> int
 
-val vamplitude : vedge -> int -> Cnum.t
-(** [vamplitude e i] walks the path of basis index [i] from an edge at
+val vamplitude : package -> vedge -> int -> Cnum.t
+(** [vamplitude p e i] walks the path of basis index [i] from an edge at
     level [n-1]; O(n). *)
 
-val mentry : medge -> int -> int -> Cnum.t
+val mentry : package -> medge -> int -> int -> Cnum.t
 (** Matrix entry (row, col) by path walk. *)
 
 (** {1 Package maintenance} *)
@@ -112,22 +149,63 @@ val mentry : medge -> int -> int -> Cnum.t
 val clear_compute_caches : package -> unit
 
 val compact : package -> vroots:vedge list -> mroots:medge list -> unit
-(** Mark-sweep garbage collection: drops every unique-table entry not
-    reachable from the given roots and clears the compute caches (whose
-    entries may reference dead nodes). Node ids remain valid. *)
+(** Mark-sweep garbage collection: every arena slot not reachable from the
+    given roots is pushed onto the free list and reissued by later
+    allocations. The package epoch is bumped so compute-cache entries from
+    before the sweep can never alias a recycled index; live node indices
+    remain valid. *)
+
+val epoch : package -> int
+(** Number of {!compact} runs so far — the stamp the compute caches are
+    validated against. *)
 
 val stats : package -> string
 val live_vnodes : package -> int
 val live_mnodes : package -> int
 
+val vfree_slots : package -> int
+(** Length of the vector arena's free list (reclaimed, reusable slots). *)
+
+val mfree_slots : package -> int
+val varena_capacity : package -> int
+val marena_capacity : package -> int
+
 val observe_gauges : package -> unit
-(** Pushes the current unique-table sizes into the [Obs] metrics gauges
-    ([dd.unique.vnodes.live] / [dd.unique.mnodes.live]). No-op while
-    metrics are disabled. *)
+(** Pushes the current arena occupancy into the [Obs] metrics gauges
+    ([dd.unique.*.live], [dd.arena.*.capacity], [dd.arena.*.free]). No-op
+    while metrics are disabled. *)
 
 val memory_bytes : package -> int
-(** Estimated live bytes of the package: unique-table entries, node
-    records, compute caches and the complex table. Used by the memory
-    experiments in place of RSS. *)
+(** Exact live bytes of the package, computed from the actual array
+    capacities of the arenas, complex table and compute caches — no
+    per-node estimate constants. Used by the memory experiments in place
+    of RSS. *)
 
 val ctable : package -> Ctable.t
+
+(** {1 Raw kernel views}
+
+    Flat windows onto the arena and weight storage for allocation-free
+    kernels (DMAV traversal, DD→flat conversion). All arrays are the live
+    backing stores — they are replaced when the arena or table grows, so
+    capture a view per kernel invocation and do not allocate DD nodes or
+    intern new weights while holding it. *)
+
+type view = {
+  lv : int array;    (** slot -> level (-1 terminal, -2 free) *)
+  ch : int array;    (** packed child edges, arena width per slot *)
+  re : float array;  (** weight id -> real part *)
+  im : float array;  (** weight id -> imaginary part *)
+}
+
+val vview : package -> view
+(** Vector arena ([ch] width 2: slots [2n], [2n+1]). *)
+
+val mview : package -> view
+(** Matrix arena ([ch] width 4: slots [4n .. 4n+3], row-major). *)
+
+val edge_tgt : int -> int
+(** Unpack the target index of a raw packed edge read from a view. *)
+
+val edge_wid : int -> int
+(** Unpack the weight id of a raw packed edge read from a view. *)

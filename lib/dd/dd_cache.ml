@@ -3,6 +3,13 @@
    memory and O(1) maintenance; an unbounded Hashtbl would dominate the
    memory profile on irregular circuits.
 
+   Keys are arena node indices, which the package's [compact] recycles
+   through its free lists. Every entry therefore carries the package epoch
+   it was stored under: [find] takes the current epoch and treats an entry
+   stamped by an earlier one as a miss, so a slot keyed on a node index
+   that was freed and reissued after a GC can never be served stale. This
+   is what lets [compact] skip the wholesale cache wipe.
+
    Each cache carries a pair of process-global [Obs] counters (shared by all
    packages that use the same label) next to its per-instance hit/miss
    fields, so `--metrics` runs see aggregate hit rates without threading a
@@ -13,6 +20,7 @@ module Two = struct
     mask : int;
     k1 : int array;
     k2 : int array;
+    ep : int array;
     full : bool array;
     vals : 'a array;
     mutable hits : int;
@@ -26,6 +34,7 @@ module Two = struct
     { mask = size - 1;
       k1 = Array.make size 0;
       k2 = Array.make size 0;
+      ep = Array.make size 0;
       full = Array.make size false;
       vals = Array.make size dummy;
       hits = 0;
@@ -35,9 +44,10 @@ module Two = struct
 
   let slot t a b = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) land t.mask
 
-  let find t a b =
+  let find t ~epoch a b =
     let i = slot t a b in
-    if t.full.(i) && t.k1.(i) = a && t.k2.(i) = b then begin
+    if t.full.(i) && t.ep.(i) = epoch && t.k1.(i) = a && t.k2.(i) = b
+    then begin
       t.hits <- t.hits + 1;
       Obs.incr t.obs_hits;
       Some t.vals.(i)
@@ -48,10 +58,11 @@ module Two = struct
       None
     end
 
-  let store t a b v =
+  let store t ~epoch a b v =
     let i = slot t a b in
     t.k1.(i) <- a;
     t.k2.(i) <- b;
+    t.ep.(i) <- epoch;
     t.vals.(i) <- v;
     t.full.(i) <- true
 
@@ -60,7 +71,8 @@ module Two = struct
     t.hits <- 0;
     t.misses <- 0
 
-  let memory_bytes t = Array.length t.vals * 8 * 4
+  (* Exact: five word-sized arrays of [size] slots plus their headers. *)
+  let memory_bytes t = (Array.length t.vals * 8 * 5) + (5 * 8)
 end
 
 module Three = struct
@@ -69,6 +81,7 @@ module Three = struct
     k1 : int array;
     k2 : int array;
     k3 : int array;
+    ep : int array;
     full : bool array;
     vals : 'a array;
     mutable hits : int;
@@ -83,6 +96,7 @@ module Three = struct
       k1 = Array.make size 0;
       k2 = Array.make size 0;
       k3 = Array.make size 0;
+      ep = Array.make size 0;
       full = Array.make size false;
       vals = Array.make size dummy;
       hits = 0;
@@ -93,9 +107,12 @@ module Three = struct
   let slot t a b c =
     (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE35) land t.mask
 
-  let find t a b c =
+  let find t ~epoch a b c =
     let i = slot t a b c in
-    if t.full.(i) && t.k1.(i) = a && t.k2.(i) = b && t.k3.(i) = c then begin
+    if
+      t.full.(i) && t.ep.(i) = epoch && t.k1.(i) = a && t.k2.(i) = b
+      && t.k3.(i) = c
+    then begin
       t.hits <- t.hits + 1;
       Obs.incr t.obs_hits;
       Some t.vals.(i)
@@ -106,11 +123,12 @@ module Three = struct
       None
     end
 
-  let store t a b c v =
+  let store t ~epoch a b c v =
     let i = slot t a b c in
     t.k1.(i) <- a;
     t.k2.(i) <- b;
     t.k3.(i) <- c;
+    t.ep.(i) <- epoch;
     t.vals.(i) <- v;
     t.full.(i) <- true
 
@@ -119,5 +137,5 @@ module Three = struct
     t.hits <- 0;
     t.misses <- 0
 
-  let memory_bytes t = Array.length t.vals * 8 * 5
+  let memory_bytes t = (Array.length t.vals * 8 * 6) + (6 * 8)
 end

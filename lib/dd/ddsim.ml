@@ -35,7 +35,7 @@ let run ?package ?(trace = false) ?(compact_every = 64) ?time_limit (c : Circuit
           let g = Mat_dd.of_op p ~n op in
           state := Dd.mv p g !state)
     in
-    let size = Dd.vnode_count !state in
+    let size = Dd.vnode_count p !state in
     if size > !peak_nodes then peak_nodes := size;
     if trace then
       entries :=

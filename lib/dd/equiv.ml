@@ -3,29 +3,34 @@ type verdict =
   | Equivalent_up_to_phase of Cnum.t
   | Not_equivalent
 
-let structural_identity ~n e =
+let structural_identity p ~n e =
   if Dd.medge_is_zero e then Not_equivalent
   else begin
     (* Walk the diagonal: each level must look like [sub 0; 0 sub]. *)
     let rec walk (node : Dd.mnode) level =
-      if level < 0 then node == Dd.mterminal
-      else if node == Dd.mterminal then false
-      else
-        Dd.medge_is_zero node.Dd.e01
-        && Dd.medge_is_zero node.Dd.e10
-        && (not (Dd.medge_is_zero node.Dd.e00))
-        && (not (Dd.medge_is_zero node.Dd.e11))
-        && node.Dd.e00.Dd.mtgt == node.Dd.e11.Dd.mtgt
-        && Cnum.equal node.Dd.e00.Dd.mw node.Dd.e11.Dd.mw
+      if level < 0 then node = Dd.mterminal
+      else if node = Dd.mterminal then false
+      else begin
+        let e00 = Dd.mchild p node 0 0
+        and e01 = Dd.mchild p node 0 1
+        and e10 = Dd.mchild p node 1 0
+        and e11 = Dd.mchild p node 1 1 in
+        Dd.medge_is_zero e01
+        && Dd.medge_is_zero e10
+        && (not (Dd.medge_is_zero e00))
+        && (not (Dd.medge_is_zero e11))
+        && Dd.mtgt e00 = Dd.mtgt e11
+        && Cnum.equal (Dd.mw p e00) (Dd.mw p e11)
         (* Canonical normalization makes the diagonal weights 1 when the
            matrix is a scalar multiple of the identity. *)
-        && Cnum.is_one node.Dd.e00.Dd.mw
-        && walk node.Dd.e00.Dd.mtgt (level - 1)
+        && Cnum.is_one (Dd.mw p e00)
+        && walk (Dd.mtgt e00) (level - 1)
+      end
     in
-    if not (walk e.Dd.mtgt (n - 1)) then Not_equivalent
-    else if Cnum.is_one e.Dd.mw then Equivalent
-    else if Float.abs (Cnum.norm e.Dd.mw -. 1.0) < 1e-9 then
-      Equivalent_up_to_phase e.Dd.mw
+    if not (walk (Dd.mtgt e) (n - 1)) then Not_equivalent
+    else if Cnum.is_one (Dd.mw p e) then Equivalent
+    else if Float.abs (Cnum.norm (Dd.mw p e) -. 1.0) < 1e-9 then
+      Equivalent_up_to_phase (Dd.mw p e)
     else Not_equivalent
   end
 
@@ -48,4 +53,4 @@ let check ?package c1 c2 =
   Array.iter
     (fun op -> acc := Dd.mm p (Mat_dd.of_op p ~n op) !acc)
     (Circuit.adjoint c2).Circuit.ops;
-  structural_identity ~n !acc
+  structural_identity p ~n !acc

@@ -12,7 +12,7 @@ type verdict =
   | Equivalent_up_to_phase of Cnum.t  (** the global phase e^{iφ} *)
   | Not_equivalent
 
-val structural_identity : n:int -> Dd.medge -> verdict
+val structural_identity : Dd.package -> n:int -> Dd.medge -> verdict
 (** Classifies a matrix DD as (phase-)identity by structure: every level
     must be a diagonal node with both branches on the same child and unit
     relative weight. O(n) — no entries are enumerated. *)

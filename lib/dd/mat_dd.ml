@@ -27,7 +27,7 @@ let of_single p ~n ~target ~controls (u : Gate.single) =
   let em = Array.init 2 (fun i ->
       Array.init 2 (fun j ->
           let w = u.(i).(j) in
-          if Cnum.is_zero w then Dd.mzero else { Dd.mtgt = Dd.mterminal; mw = w }))
+          if Cnum.is_zero w then Dd.mzero else Dd.mterm_edge p w))
   in
   for l = 0 to target - 1 do
     let ident = identity_below p l in
@@ -59,7 +59,7 @@ let of_two p ~n ~q_hi ~q_lo (u : Gate.two) =
      index, q_lo the 1s bit — regardless of which level is higher. *)
   let entry ih il jh jl =
     let w = u.((2 * ih) + il).((2 * jh) + jl) in
-    if Cnum.is_zero w then Dd.mzero else { Dd.mtgt = Dd.mterminal; mw = w }
+    if Cnum.is_zero w then Dd.mzero else Dd.mterm_edge p w
   in
   (* Blocks over (bit at hi_level of row, of col): each is a 2×2 matrix in
      the lo_level bit. *)
@@ -105,17 +105,17 @@ let of_op p ~n (op : Circuit.op) =
     of_single p ~n ~target ~controls matrix
   | Circuit.Two { matrix; q_hi; q_lo; _ } -> of_two p ~n ~q_hi ~q_lo matrix
 
-let to_dense _p ~n e =
+let to_dense p ~n e =
   let d = 1 lsl n in
-  Array.init d (fun r -> Array.init d (fun c -> Dd.mentry e r c))
+  Array.init d (fun r -> Array.init d (fun c -> Dd.mentry p e r c))
 
-let is_identity ?(tol = 1e-9) ~n e =
+let is_identity ?(tol = 1e-9) p ~n e =
   let d = 1 lsl n in
   let ok = ref true in
   for r = 0 to d - 1 do
     for c = 0 to d - 1 do
       let expect = if r = c then Cnum.one else Cnum.zero in
-      if not (Cnum.equal ~tol (Dd.mentry e r c) expect) then ok := false
+      if not (Cnum.equal ~tol (Dd.mentry p e r c) expect) then ok := false
     done
   done;
   !ok

@@ -24,4 +24,4 @@ val of_op : Dd.package -> n:int -> Circuit.op -> Dd.medge
 val to_dense : Dd.package -> n:int -> Dd.medge -> Cnum.t array array
 (** Expands to a dense 2^n × 2^n matrix; for tests on small [n]. *)
 
-val is_identity : ?tol:float -> n:int -> Dd.medge -> bool
+val is_identity : ?tol:float -> Dd.package -> n:int -> Dd.medge -> bool

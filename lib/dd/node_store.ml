@@ -1,0 +1,285 @@
+(* Flat, index-based arena for decision-diagram nodes.
+
+   This is the storage half of the DD package: a structure-of-arrays
+   arena whose slots are node indices, not pointers. A node at slot [i]
+   is its level ([level.(i)]) plus [width] outgoing edges stored as
+   packed (target-index, ctable-weight-id) ints in
+   [child.(width*i .. width*i + width - 1)]. Slot 0 is the shared
+   terminal (level -1); index 0 with weight id 0 is therefore the
+   canonical zero edge, which makes the packed zero edge literally the
+   integer 0.
+
+   Reclamation is real: [sweep] pushes every unmarked slot onto a LIFO
+   free list and the next [alloc] pops it, so long runs with periodic
+   GC stay inside one arena footprint instead of growing forever. The
+   unique table is an open-addressed array of node indices probed by
+   hashing the (level, children) tuple and compared directly against
+   the arena fields — the node *is* its own key, there is no separate
+   key record to allocate. After a sweep the table is rebuilt from the
+   live slots, so no tombstone bookkeeping is needed.
+
+   This module is owned by lib/dd: nothing outside the DD package may
+   allocate nodes or forge edges (enforced by the node-alloc-outside-arena
+   lint rule); consumers read nodes through [Dd]'s accessors or the raw
+   kernel views it exposes. *)
+
+type t = {
+  width : int;                 (* outgoing edges per node: 2 vector, 4 matrix *)
+  mutable level : int array;   (* per slot: qubit level; -1 terminal; -2 free *)
+  mutable child : int array;   (* width packed edges per slot *)
+  mutable mark : Bytes.t;      (* traversal scratch bits, one byte per slot *)
+  mutable next : int;          (* high-water mark: slots [1, next) ever allocated *)
+  mutable free : int array;    (* LIFO stack of reclaimed slots *)
+  mutable free_len : int;
+  mutable live : int;          (* allocated minus freed (terminal excluded) *)
+  mutable table : int array;   (* open-addressed unique table of slot indices; 0 = empty *)
+  mutable occupied : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Packed edges                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* An edge is one native int: low 31 bits target slot, remaining high
+   bits the ctable weight id. 2^31 node slots would need >100 GB of
+   arena, and 2^31 distinct interned weights >100 GB of ctable, so
+   neither field can overflow in a process that fits in memory; the
+   slot side is still checked at allocation time. *)
+let tgt_bits = 31
+let tgt_mask = (1 lsl tgt_bits) - 1
+
+let[@inline] pack ~tgt ~wid = (wid lsl tgt_bits) lor tgt
+let[@inline] tgt e = e land tgt_mask
+let[@inline] wid e = e lsr tgt_bits
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ~width ~capacity =
+  if width < 1 then invalid_arg "Node_store.create: width";
+  if capacity < 2 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Node_store.create: capacity must be a power of two >= 2";
+  let a =
+    { width;
+      level = Array.make capacity (-2);
+      child = Array.make (width * capacity) 0;
+      mark = Bytes.make capacity '\000';
+      next = 1;
+      free = Array.make 256 0;
+      free_len = 0;
+      live = 0;
+      table = Array.make (2 * capacity) 0;
+      occupied = 0 }
+  in
+  a.level.(0) <- -1;
+  a
+
+let capacity a = Array.length a.level
+let live a = a.live
+let free_slots a = a.free_len
+let high_water a = a.next - 1
+
+(* Field reads on the hot paths. The [unsafe_get]s are justified by the
+   arena invariant that every reachable edge targets a slot below [next],
+   which FLATDD_CHECK-era tests exercise heavily with asserts upstream. *)
+let[@inline] level a n = Array.unsafe_get a.level n (* qcs-lint: allow unsafe-array *)
+let[@inline] child2 a n k = Array.unsafe_get a.child ((2 * n) + k) (* qcs-lint: allow unsafe-array *)
+let[@inline] child4 a n k = Array.unsafe_get a.child ((4 * n) + k) (* qcs-lint: allow unsafe-array *)
+let level_array a = a.level
+let child_array a = a.child
+
+(* ------------------------------------------------------------------ *)
+(* Unique table                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Packed edges carry the weight id in bits >= 31, and multiplication only
+   propagates information upward — so the operand's high bits must be
+   folded down ([x lsr 29]) before mixing, and the result's high bits
+   after, or every terminal-pointing edge (tgt = 0, the whole bottom level
+   of a dense DD) would leave the table index untouched and linear probing
+   would degenerate into long collision chains. *)
+let[@inline] mix h x =
+  let x = (x lxor (x lsr 29)) * 0x9E3779B1 in
+  let h = (h lxor x) * 0x85EBCA77 in
+  h lxor (h lsr 17)
+
+let[@inline] hash2 level c0 c1 = mix (mix (mix 0x3B9 level) c0) c1
+
+let[@inline] hash4 level c0 c1 c2 c3 =
+  mix (mix (mix (mix (mix 0x9D7 level) c0) c1) c2) c3
+
+let[@inline] node_hash a n =
+  let base = a.width * n in
+  if a.width = 2 then hash2 a.level.(n) a.child.(base) a.child.(base + 1)
+  else
+    hash4 a.level.(n) a.child.(base) a.child.(base + 1) a.child.(base + 2)
+      a.child.(base + 3)
+
+let table_insert a n =
+  let mask = Array.length a.table - 1 in
+  let i = ref (node_hash a n land mask) in
+  while a.table.(!i) <> 0 do
+    i := (!i + 1) land mask
+  done;
+  a.table.(!i) <- n;
+  a.occupied <- a.occupied + 1
+
+let rebuild_table a size =
+  a.table <- Array.make size 0;
+  a.occupied <- 0;
+  for n = 1 to a.next - 1 do
+    if a.level.(n) >= 0 then table_insert a n
+  done
+
+let maybe_grow_table a =
+  (* Keep the load factor under 1/2 so linear probing stays short. *)
+  if 2 * (a.occupied + 1) > Array.length a.table then
+    rebuild_table a (2 * Array.length a.table)
+
+let find2 a ~level c0 c1 =
+  let mask = Array.length a.table - 1 in
+  let i = ref (hash2 level c0 c1 land mask) in
+  let res = ref (-1) in
+  let probing = ref true in
+  while !probing do
+    let n = a.table.(!i) in
+    if n = 0 then probing := false
+    else if
+      a.level.(n) = level && a.child.(2 * n) = c0 && a.child.((2 * n) + 1) = c1
+    then begin
+      res := n;
+      probing := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  !res
+
+let find4 a ~level c0 c1 c2 c3 =
+  let mask = Array.length a.table - 1 in
+  let i = ref (hash4 level c0 c1 c2 c3 land mask) in
+  let res = ref (-1) in
+  let probing = ref true in
+  while !probing do
+    let n = a.table.(!i) in
+    if n = 0 then probing := false
+    else begin
+      let b = 4 * n in
+      if
+        a.level.(n) = level
+        && a.child.(b) = c0
+        && a.child.(b + 1) = c1
+        && a.child.(b + 2) = c2
+        && a.child.(b + 3) = c3
+      then begin
+        res := n;
+        probing := false
+      end
+      else i := (!i + 1) land mask
+    end
+  done;
+  !res
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let grow_arena a =
+  let cap = capacity a in
+  let cap' = 2 * cap in
+  let level = Array.make cap' (-2) in
+  Array.blit a.level 0 level 0 cap;
+  a.level <- level;
+  let child = Array.make (a.width * cap') 0 in
+  Array.blit a.child 0 child 0 (a.width * cap);
+  a.child <- child;
+  let mark = Bytes.make cap' '\000' in
+  Bytes.blit a.mark 0 mark 0 cap;
+  a.mark <- mark
+
+let fresh_slot a =
+  if a.free_len > 0 then begin
+    a.free_len <- a.free_len - 1;
+    a.free.(a.free_len)
+  end
+  else begin
+    if a.next = capacity a then grow_arena a;
+    let n = a.next in
+    if n > tgt_mask then failwith "Node_store: arena index overflow";
+    a.next <- n + 1;
+    n
+  end
+
+let alloc2 a ~level c0 c1 =
+  maybe_grow_table a;
+  let n = fresh_slot a in
+  a.level.(n) <- level;
+  a.child.(2 * n) <- c0;
+  a.child.((2 * n) + 1) <- c1;
+  a.live <- a.live + 1;
+  table_insert a n;
+  n
+
+let alloc4 a ~level c0 c1 c2 c3 =
+  maybe_grow_table a;
+  let n = fresh_slot a in
+  a.level.(n) <- level;
+  let b = 4 * n in
+  a.child.(b) <- c0;
+  a.child.(b + 1) <- c1;
+  a.child.(b + 2) <- c2;
+  a.child.(b + 3) <- c3;
+  a.live <- a.live + 1;
+  table_insert a n;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Marking and sweep                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] marked a n = Bytes.unsafe_get a.mark n <> '\000' (* qcs-lint: allow unsafe-array *)
+let[@inline] set_mark a n = Bytes.unsafe_set a.mark n '\001' (* qcs-lint: allow unsafe-array *)
+let[@inline] clear_mark a n = Bytes.unsafe_set a.mark n '\000' (* qcs-lint: allow unsafe-array *)
+
+let push_free a n =
+  if a.free_len = Array.length a.free then begin
+    let free = Array.make (2 * a.free_len) 0 in
+    Array.blit a.free 0 free 0 a.free_len;
+    a.free <- free
+  end;
+  a.free.(a.free_len) <- n;
+  a.free_len <- a.free_len + 1
+
+(* Frees every allocated slot whose mark byte is unset, clears all marks,
+   and rebuilds the unique table over the survivors. Returns the number
+   of slots reclaimed. Freed slots keep their index on the free list and
+   are handed back by the next [alloc]; the epoch stamp kept by the
+   package is what protects compute-cache entries from the reuse. *)
+let sweep a =
+  let freed = ref 0 in
+  for n = 1 to a.next - 1 do
+    if a.level.(n) >= 0 && not (marked a n) then begin
+      a.level.(n) <- -2;
+      Array.fill a.child (a.width * n) a.width 0;
+      push_free a n;
+      a.live <- a.live - 1;
+      incr freed
+    end
+  done;
+  Bytes.fill a.mark 0 (Bytes.length a.mark) '\000';
+  if !freed > 0 then rebuild_table a (Array.length a.table);
+  !freed
+
+(* ------------------------------------------------------------------ *)
+(* Memory accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact arithmetic over the arena's actual allocations: every array is
+   charged capacity × 8 bytes plus its header word, the mark bytes at one
+   byte per slot. No per-node estimate constants. *)
+let memory_bytes a =
+  (8 * (Array.length a.level + 1))
+  + (8 * (Array.length a.child + 1))
+  + (Bytes.length a.mark + 8)
+  + (8 * (Array.length a.free + 1))
+  + (8 * (Array.length a.table + 1))

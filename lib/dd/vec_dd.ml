@@ -26,7 +26,7 @@ let of_buf p buf =
   let rec build l offset =
     if l < 0 then
       let a = Buf.get buf offset in
-      if Cnum.is_zero a then Dd.vzero else { Dd.vtgt = Dd.vterminal; vw = a }
+      if Cnum.is_zero a then Dd.vzero else Dd.vterm_edge p a
     else
       let e0 = build (l - 1) offset in
       let e1 = build (l - 1) (offset + (1 lsl l)) in
@@ -34,48 +34,56 @@ let of_buf p buf =
   in
   build (n - 1) 0
 
-let to_buf _p n e =
+let to_buf p n (e : Dd.vedge) =
   let buf = Buf.create (1 lsl n) in
-  (* One DFS, multiplying edge weights down each path. Zero edges leave
-     the pre-zeroed buffer untouched. *)
-  let rec walk (e : Dd.vedge) offset w =
-    if not (Dd.vedge_is_zero e) then begin
-      let w = Cnum.mul w e.Dd.vw in
-      let node = e.Dd.vtgt in
-      if node == Dd.vterminal then Buf.set buf offset w
+  (* One DFS over the raw arena view, multiplying packed-edge weights down
+     each path. Zero edges (the packed int 0) leave the pre-zeroed buffer
+     untouched. *)
+  let v = Dd.vview p in
+  let rec walk (e : int) offset wre wim =
+    if e <> 0 then begin
+      let wid = Dd.edge_wid e in
+      let er = v.Dd.re.(wid) and ei = v.Dd.im.(wid) in
+      let wre' = (wre *. er) -. (wim *. ei)
+      and wim' = (wre *. ei) +. (wim *. er) in
+      let node = Dd.edge_tgt e in
+      if node = 0 then Buf.set buf offset { Cnum.re = wre'; im = wim' }
       else begin
-        walk node.Dd.v0 offset w;
-        walk node.Dd.v1 (offset + (1 lsl node.Dd.vlevel)) w
+        walk v.Dd.ch.(2 * node) offset wre' wim';
+        walk v.Dd.ch.((2 * node) + 1)
+          (offset + (1 lsl v.Dd.lv.(node)))
+          wre' wim'
       end
     end
   in
-  walk e 0 Cnum.one;
+  walk (e :> int) 0 1.0 0.0;
   buf
 
-let norm2 e =
+let norm2 p e =
   (* Memoize per node: Σ|amp|² of the sub-vector with unit incoming
      weight; an incoming weight w scales it by |w|². *)
   let memo : (int, float) Hashtbl.t = Hashtbl.create 256 in
   let rec node_norm (n : Dd.vnode) =
-    if n == Dd.vterminal then 1.0
+    if n = Dd.vterminal then 1.0
     else
-      match Hashtbl.find_opt memo n.Dd.vid with
+      match Hashtbl.find_opt memo (Dd.vid n) with
       | Some v -> v
       | None ->
         let contrib (e : Dd.vedge) =
           if Dd.vedge_is_zero e then 0.0
-          else Cnum.norm2 e.Dd.vw *. node_norm e.Dd.vtgt
+          else Cnum.norm2 (Dd.vw p e) *. node_norm (Dd.vtgt e)
         in
-        let v = contrib n.Dd.v0 +. contrib n.Dd.v1 in
-        Hashtbl.add memo n.Dd.vid v;
+        let v = contrib (Dd.v0 p n) +. contrib (Dd.v1 p n) in
+        Hashtbl.add memo (Dd.vid n) v;
         v
   in
   if Dd.vedge_is_zero e then 0.0
-  else Cnum.norm2 e.Dd.vw *. node_norm e.Dd.vtgt
+  else Cnum.norm2 (Dd.vw p e) *. node_norm (Dd.vtgt e)
 
-let equal ?(tol = 1e-8) ~n a b =
+let equal ?(tol = 1e-8) p ~n a b =
   let ok = ref true in
   for i = 0 to (1 lsl n) - 1 do
-    if not (Cnum.equal ~tol (Dd.vamplitude a i) (Dd.vamplitude b i)) then ok := false
+    if not (Cnum.equal ~tol (Dd.vamplitude p a i) (Dd.vamplitude p b i)) then
+      ok := false
   done;
   !ok

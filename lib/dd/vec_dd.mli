@@ -16,8 +16,8 @@ val to_buf : Dd.package -> int -> Dd.vedge -> Buf.t
     converter is compared against): one depth-first walk writing weight
     products into a fresh [2^n] buffer. *)
 
-val norm2 : Dd.vedge -> float
+val norm2 : Dd.package -> Dd.vedge -> float
 (** Σ|amplitude|² computed on the DD in one memoized pass. *)
 
-val equal : ?tol:float -> n:int -> Dd.vedge -> Dd.vedge -> bool
+val equal : ?tol:float -> Dd.package -> n:int -> Dd.vedge -> Dd.vedge -> bool
 (** Amplitude-wise comparison; exponential in [n], for tests. *)

@@ -1,48 +1,52 @@
 type t = {
   n : int;
+  p : Dd.package;
   root : Dd.vedge;
-  norms : (int, float) Hashtbl.t;  (* node id -> Σ|amp|² with unit incoming weight *)
+  norms : (int, float) Hashtbl.t;  (* node index -> Σ|amp|² with unit incoming weight *)
   total : float;
 }
 
-let node_norm norms =
+let node_norm p norms =
   let rec go (node : Dd.vnode) =
-    if node == Dd.vterminal then 1.0
+    if node = Dd.vterminal then 1.0
     else
-      match Hashtbl.find_opt norms node.Dd.vid with
+      match Hashtbl.find_opt norms (Dd.vid node) with
       | Some v -> v
       | None ->
         let contrib (e : Dd.vedge) =
-          if Dd.vedge_is_zero e then 0.0 else Cnum.norm2 e.Dd.vw *. go e.Dd.vtgt
+          if Dd.vedge_is_zero e then 0.0
+          else Cnum.norm2 (Dd.vw p e) *. go (Dd.vtgt e)
         in
-        let v = contrib node.Dd.v0 +. contrib node.Dd.v1 in
-        Hashtbl.add norms node.Dd.vid v;
+        let v = contrib (Dd.v0 p node) +. contrib (Dd.v1 p node) in
+        Hashtbl.add norms (Dd.vid node) v;
         v
   in
   go
 
-let create n root =
+let create p n root =
   if Dd.vedge_is_zero root then invalid_arg "Vec_sample.create: zero vector";
   let norms = Hashtbl.create 1024 in
-  let total = Cnum.norm2 root.Dd.vw *. node_norm norms root.Dd.vtgt in
+  let total = Cnum.norm2 (Dd.vw p root) *. node_norm p norms (Dd.vtgt root) in
   if total <= 0.0 then invalid_arg "Vec_sample.create: zero norm";
-  { n; root; norms; total }
+  { n; p; root; norms; total }
 
 let sample t rng =
+  let p = t.p in
   let norm_of (e : Dd.vedge) =
     if Dd.vedge_is_zero e then 0.0
-    else Cnum.norm2 e.Dd.vw *. node_norm t.norms e.Dd.vtgt
+    else Cnum.norm2 (Dd.vw p e) *. node_norm p t.norms (Dd.vtgt e)
   in
   let rec walk (node : Dd.vnode) acc =
-    if node == Dd.vterminal then acc
+    if node = Dd.vterminal then acc
     else begin
-      let p0 = norm_of node.Dd.v0 and p1 = norm_of node.Dd.v1 in
+      let e0 = Dd.v0 p node and e1 = Dd.v1 p node in
+      let p0 = norm_of e0 and p1 = norm_of e1 in
       let u = Rng.float rng (p0 +. p1) in
-      if u < p0 then walk node.Dd.v0.Dd.vtgt acc
-      else walk node.Dd.v1.Dd.vtgt (Bits.set_bit acc node.Dd.vlevel)
+      if u < p0 then walk (Dd.vtgt e0) acc
+      else walk (Dd.vtgt e1) (Bits.set_bit acc (Dd.vlevel p node))
     end
   in
-  walk t.root.Dd.vtgt 0
+  walk (Dd.vtgt t.root) 0
 
 let counts t rng ~shots =
   let tbl = Hashtbl.create 64 in
@@ -53,7 +57,7 @@ let counts t rng ~shots =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
-let probability t i = Cnum.norm2 (Dd.vamplitude t.root i) /. t.total
+let probability t i = Cnum.norm2 (Dd.vamplitude t.p t.root i) /. t.total
 
 (* Projection rebuilds the DD top-down, replacing the discarded branch at
    the measured level with the zero edge; nodes above the level are
@@ -64,71 +68,76 @@ let project p e q bit =
     let memo : (int, Dd.vedge) Hashtbl.t = Hashtbl.create 256 in
     let rec go (node : Dd.vnode) =
       (* Levels below [q] are never reached: recursion stops at [q]. *)
-      if node.Dd.vlevel < q then invalid_arg "Vec_sample.project: malformed DD"
+      if Dd.vlevel p node < q then invalid_arg "Vec_sample.project: malformed DD"
       else
-        match Hashtbl.find_opt memo node.Dd.vid with
+        match Hashtbl.find_opt memo (Dd.vid node) with
         | Some r -> r
         | None ->
           let r =
-            if node.Dd.vlevel = q then
-              if bit = 0 then Dd.make_vnode p q node.Dd.v0 Dd.vzero
-              else Dd.make_vnode p q Dd.vzero node.Dd.v1
+            if Dd.vlevel p node = q then
+              if bit = 0 then Dd.make_vnode p q (Dd.v0 p node) Dd.vzero
+              else Dd.make_vnode p q Dd.vzero (Dd.v1 p node)
             else begin
               let child (e : Dd.vedge) =
                 if Dd.vedge_is_zero e then Dd.vzero
-                else Dd.vscale p (go e.Dd.vtgt) e.Dd.vw
+                else Dd.vscale p (go (Dd.vtgt e)) (Dd.vw p e)
               in
-              Dd.make_vnode p node.Dd.vlevel (child node.Dd.v0) (child node.Dd.v1)
+              Dd.make_vnode p (Dd.vlevel p node)
+                (child (Dd.v0 p node)) (child (Dd.v1 p node))
             end
           in
-          Hashtbl.add memo node.Dd.vid r;
+          Hashtbl.add memo (Dd.vid node) r;
           r
     in
-    Dd.vscale p (go e.Dd.vtgt) e.Dd.vw
+    Dd.vscale p (go (Dd.vtgt e)) (Dd.vw p e)
   end
 
 let measure_qubit p ?rng ~n e q =
   if q < 0 || q >= n then invalid_arg "Vec_sample.measure_qubit: bad qubit";
   if Dd.vedge_is_zero e then invalid_arg "Vec_sample.measure_qubit: zero vector";
   let rng = match rng with Some r -> r | None -> Rng.create 42 in
-  let total = Vec_dd.norm2 e in
+  let total = Vec_dd.norm2 p e in
   let p1 =
     let proj1 = project p e q 1 in
-    Vec_dd.norm2 proj1 /. total
+    Vec_dd.norm2 p proj1 /. total
   in
   let outcome = if Rng.float rng 1.0 < p1 then 1 else 0 in
   let projected = project p e q outcome in
-  let norm = Vec_dd.norm2 projected in
+  let norm = Vec_dd.norm2 p projected in
   let collapsed = Dd.vscale p projected (Cnum.of_float (1.0 /. sqrt norm)) in
   (outcome, collapsed)
 
 (* <a|b> with weights factored out: the memo is keyed on node pairs, each
    entry holding the inner product of the two unit-weight sub-vectors. *)
-let dot a b =
+let dot p a b =
   if Dd.vedge_is_zero a || Dd.vedge_is_zero b then Cnum.zero
   else begin
     let memo : (int * int, Cnum.t) Hashtbl.t = Hashtbl.create 1024 in
     let rec nodes (x : Dd.vnode) (y : Dd.vnode) =
-      if x == Dd.vterminal then Cnum.one
+      if x = Dd.vterminal then Cnum.one
       else
-        match Hashtbl.find_opt memo (x.Dd.vid, y.Dd.vid) with
+        match Hashtbl.find_opt memo (Dd.vid x, Dd.vid y) with
         | Some v -> v
         | None ->
           let part (ex : Dd.vedge) (ey : Dd.vedge) =
             if Dd.vedge_is_zero ex || Dd.vedge_is_zero ey then Cnum.zero
             else
               Cnum.mul
-                (Cnum.mul (Cnum.conj ex.Dd.vw) ey.Dd.vw)
-                (nodes ex.Dd.vtgt ey.Dd.vtgt)
+                (Cnum.mul (Cnum.conj (Dd.vw p ex)) (Dd.vw p ey))
+                (nodes (Dd.vtgt ex) (Dd.vtgt ey))
           in
-          let v = Cnum.add (part x.Dd.v0 y.Dd.v0) (part x.Dd.v1 y.Dd.v1) in
-          Hashtbl.add memo (x.Dd.vid, y.Dd.vid) v;
+          let v =
+            Cnum.add
+              (part (Dd.v0 p x) (Dd.v0 p y))
+              (part (Dd.v1 p x) (Dd.v1 p y))
+          in
+          Hashtbl.add memo (Dd.vid x, Dd.vid y) v;
           v
     in
-    assert (a.Dd.vtgt.Dd.vlevel = b.Dd.vtgt.Dd.vlevel);
+    assert (Dd.vlevel p (Dd.vtgt a) = Dd.vlevel p (Dd.vtgt b));
     Cnum.mul
-      (Cnum.mul (Cnum.conj a.Dd.vw) b.Dd.vw)
-      (nodes a.Dd.vtgt b.Dd.vtgt)
+      (Cnum.mul (Cnum.conj (Dd.vw p a)) (Dd.vw p b))
+      (nodes (Dd.vtgt a) (Dd.vtgt b))
   end
 
-let fidelity a b = Cnum.norm2 (dot a b)
+let fidelity p a b = Cnum.norm2 (dot p a b)

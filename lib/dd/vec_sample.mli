@@ -10,10 +10,11 @@
 
 type t
 
-val create : int -> Dd.vedge -> t
-(** [create n e] prepares a sampler over an [n]-qubit state DD. The state
-    need not be normalized; probabilities are taken relative to its total
-    norm. @raise Invalid_argument on the zero vector. *)
+val create : Dd.package -> int -> Dd.vedge -> t
+(** [create p n e] prepares a sampler over an [n]-qubit state DD from
+    package [p]. The state need not be normalized; probabilities are taken
+    relative to its total norm.
+    @raise Invalid_argument on the zero vector. *)
 
 val sample : t -> Rng.t -> int
 (** Draws one basis index from |amplitude|²/‖ψ‖². *)
@@ -42,11 +43,11 @@ val project : Dd.package -> Dd.vedge -> int -> int -> Dd.vedge
 
 (** {1 Overlaps} *)
 
-val dot : Dd.vedge -> Dd.vedge -> Cnum.t
+val dot : Dd.package -> Dd.vedge -> Dd.vedge -> Cnum.t
 (** ⟨a|b⟩ = Σᵢ conj(aᵢ)·bᵢ, computed by a memoized simultaneous descent —
     O(|A|·|B|) node pairs worst case, without expanding either vector.
     Both edges must come from the same package and root at the same
     level. *)
 
-val fidelity : Dd.vedge -> Dd.vedge -> float
+val fidelity : Dd.package -> Dd.vedge -> Dd.vedge -> float
 (** |⟨a|b⟩|² for unit vectors. *)

@@ -1,22 +1,22 @@
-let mac_count (e : Dd.medge) =
+let mac_count p (e : Dd.medge) =
   if Dd.medge_is_zero e then 0.0
   else begin
     let memo : (int, float) Hashtbl.t = Hashtbl.create 256 in
     let rec count (node : Dd.mnode) =
-      if node == Dd.mterminal then 1.0
+      if node = Dd.mterminal then 1.0
       else
-        match Hashtbl.find_opt memo node.Dd.mid with
+        match Hashtbl.find_opt memo (Dd.mid node) with
         | Some v -> v
         | None ->
           let edge (e : Dd.medge) =
-            if Dd.medge_is_zero e then 0.0 else count e.Dd.mtgt
+            if Dd.medge_is_zero e then 0.0 else count (Dd.mtgt e)
           in
-          let v = edge node.Dd.e00 +. edge node.Dd.e01
-                  +. edge node.Dd.e10 +. edge node.Dd.e11 in
-          Hashtbl.add memo node.Dd.mid v;
+          let v = edge (Dd.mchild p node 0 0) +. edge (Dd.mchild p node 0 1)
+                  +. edge (Dd.mchild p node 1 0) +. edge (Dd.mchild p node 1 1) in
+          Hashtbl.add memo (Dd.mid node) v;
           v
     in
-    count e.Dd.mtgt
+    count (Dd.mtgt e)
   end
 
 type breakdown = {
@@ -36,12 +36,12 @@ let pow2_threads ~n threads =
 (* Mirror of Algorithm 2's AssignCache: collect each thread's border-level
    task nodes, then count per-thread node repeats (cache hits) and run the
    greedy buffer allocation over the threads' output-block sets. *)
-let assign_cache_tasks ~n ~t (root : Dd.medge) =
+let assign_cache_tasks p ~n ~t (root : Dd.medge) =
   let border = n - Bits.log2_exact t - 1 in
   let tasks = Array.make t [] in
   let rec go (e : Dd.medge) u ip l =
     if not (Dd.medge_is_zero e) then begin
-      if l = border then tasks.(u) <- (e.Dd.mtgt, ip) :: tasks.(u)
+      if l = border then tasks.(u) <- (Dd.mtgt e, ip) :: tasks.(u)
       else begin
         let step = t / (1 lsl (n - l)) in
         let half = 1 lsl l in
@@ -49,7 +49,7 @@ let assign_cache_tasks ~n ~t (root : Dd.medge) =
            partial-output offset follows the row bit i. *)
         for j = 0 to 1 do
           for i = 0 to 1 do
-            go (Dd.medge_child e i j) (u + (j * step)) (ip + (i * half)) (l - 1)
+            go (Dd.medge_child p e i j) (u + (j * step)) (ip + (i * half)) (l - 1)
           done
         done
       end
@@ -85,33 +85,33 @@ let allocate_buffers per_thread_blocks =
   in
   (assignment, List.length !buffers)
 
-let breakdown ~n ~threads root =
+let breakdown p ~n ~threads root =
   let t = pow2_threads ~n threads in
-  let tasks = assign_cache_tasks ~n ~t root in
+  let tasks = assign_cache_tasks p ~n ~t root in
   let k2 = ref 0.0 and hits = ref 0 in
   Array.iter
     (fun lst ->
        let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
        List.iter
          (fun ((node : Dd.mnode), _ip) ->
-            if Hashtbl.mem seen node.Dd.mid then incr hits
+            if Hashtbl.mem seen (Dd.mid node) then incr hits
             else begin
-              Hashtbl.replace seen node.Dd.mid ();
-              k2 := !k2 +. mac_count { Dd.mtgt = node; mw = Cnum.one }
+              Hashtbl.replace seen (Dd.mid node) ();
+              k2 := !k2 +. mac_count p (Dd.munit node)
             end)
          lst)
     tasks;
   let per_thread_blocks = Array.map (List.map snd) tasks in
   let _, buffers = allocate_buffers per_thread_blocks in
-  { k1 = mac_count root; k2 = !k2; hits = !hits; buffers }
+  { k1 = mac_count p root; k2 = !k2; hits = !hits; buffers }
 
 type decision = { cached : bool; c1 : float; c2 : float; threads_used : int }
 
-let decide ~n ~threads ~simd_width root =
+let decide p ~n ~threads ~simd_width root =
   let tu = pow2_threads ~n threads in
   let t = float_of_int tu in
   let d = float_of_int (Int.max 1 simd_width) in
-  let b = breakdown ~n ~threads root in
+  let b = breakdown p ~n ~threads root in
   let dim = Float.pow 2.0 (float_of_int n) in
   let c1 = b.k1 /. t in
   let c2 = (b.k2 /. t) +. (dim /. (d *. t) *. ((float_of_int b.hits /. t) +. float_of_int b.buffers)) in
@@ -143,8 +143,8 @@ type dispatch = {
    MACs are pointer-chasing DD traversals and stay at scalar rate, exactly
    as in C₁/C₂. An op is only eligible when the original circuit operation
    survived to the flat phase, i.e. the gate was not fused. *)
-let dispatch ~n ~threads ~simd_width ?op root =
-  let dmav = decide ~n ~threads ~simd_width root in
+let dispatch p ~n ~threads ~simd_width ?op root =
+  let dmav = decide p ~n ~threads ~simd_width root in
   match op with
   | None -> { kernel = Dmav_kernel; dmav; dense_c = None }
   | Some op ->

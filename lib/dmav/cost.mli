@@ -24,13 +24,14 @@ val allocate_buffers : int list array -> int array * int
     disjoint from its own, else opens a new one. Returns the thread →
     buffer assignment and the buffer count [b]. *)
 
-val assign_cache_tasks : n:int -> t:int -> Dd.medge -> (Dd.mnode * int) list array
+val assign_cache_tasks :
+  Dd.package -> n:int -> t:int -> Dd.medge -> (Dd.mnode * int) list array
 (** The column-space (AssignCache) task assignment without executing it:
     for each of the [t] threads, the border-level (sub-matrix node,
     output-block start) pairs in assignment order. Exposed for the
     load-balance analyses in the benchmark harness. *)
 
-val mac_count : Dd.medge -> float
+val mac_count : Dd.package -> Dd.medge -> float
 (** [K₁] — total MACs of multiplying this matrix DD by a dense vector.
     Float because counts reach 2ⁿ·(dense paths) and must not overflow
     silently. *)
@@ -42,14 +43,15 @@ type breakdown = {
   buffers : int;     (** [b] *)
 }
 
-val breakdown : n:int -> threads:int -> Dd.medge -> breakdown
+val breakdown : Dd.package -> n:int -> threads:int -> Dd.medge -> breakdown
 (** Simulates the cached task assignment (Algorithm 2's AssignCache and
     buffer allocation) without touching any state vector. [threads] is
     rounded down to a power of two, as in {!Dmav}. *)
 
 type decision = { cached : bool; c1 : float; c2 : float; threads_used : int }
 
-val decide : n:int -> threads:int -> simd_width:int -> Dd.medge -> decision
+val decide :
+  Dd.package -> n:int -> threads:int -> simd_width:int -> Dd.medge -> decision
 (** Chooses the cheaper kernel: cached iff [C₂ < C₁]. *)
 
 val modeled_macs : decision -> float
@@ -75,6 +77,7 @@ type dispatch = {
 }
 
 val dispatch :
+  Dd.package ->
   n:int -> threads:int -> simd_width:int -> ?op:Circuit.op -> Dd.medge -> dispatch
 (** Extends {!decide} with the dense direct-apply alternative: dense
     kernels are stride-1 branch-free loops charged at SIMD width [d]

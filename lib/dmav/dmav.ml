@@ -1,60 +1,72 @@
 (* The Run recursion (Algorithm 1) carries the accumulated weight product
    as two unboxed floats to keep the hot path allocation-free. The level
-   parameter of the paper is implicit in each node's own level. *)
+   parameter of the paper is implicit in each node's own level. Kernels
+   run on the package's raw matrix-arena view — packed child edges and
+   unboxed weight planes — so a node visit is three array reads, no
+   dereference chains. The view stays valid for the whole apply because
+   nothing allocates DD nodes or interns weights inside the kernels. *)
 (* W[iw] += (f·ew) · V[iv] — the MAC the cost model counts. *)
-let[@inline] mac (e : Dd.medge) (v : float array) (w : float array) iv iw fre fim =
-  let ew = e.Dd.mw in
-  let gre = (fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im) in
-  let gim = (fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re) in
+let[@inline] mac (mv : Dd.view) (e : int) (v : float array) (w : float array)
+    iv iw fre fim =
+  let wid = Dd.edge_wid e in
+  let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+  let gre = (fre *. er) -. (fim *. ei) in
+  let gim = (fre *. ei) +. (fim *. er) in
   let vre = v.(2 * iv) and vim = v.((2 * iv) + 1) in
   w.(2 * iw) <- w.(2 * iw) +. ((gre *. vre) -. (gim *. vim));
   w.((2 * iw) + 1) <- w.((2 * iw) + 1) +. ((gre *. vim) +. (gim *. vre))
 
-let rec run_node (node : Dd.mnode) (v : float array) (w : float array)
+let rec run_node (mv : Dd.view) (node : int) (v : float array) (w : float array)
     iv iw fre fim =
-  if node.Dd.mlevel = 0 then begin
+  if mv.Dd.lv.(node) = 0 then begin
     (* The children are terminals: perform the (up to) four MACs inline,
        which halves the visit count of the recursion. *)
-    let e00 = node.Dd.e00 and e01 = node.Dd.e01 in
-    let e10 = node.Dd.e10 and e11 = node.Dd.e11 in
-    if not (Dd.medge_is_zero e00) then mac e00 v w iv iw fre fim;
-    if not (Dd.medge_is_zero e01) then mac e01 v w (iv + 1) iw fre fim;
-    if not (Dd.medge_is_zero e10) then mac e10 v w iv (iw + 1) fre fim;
-    if not (Dd.medge_is_zero e11) then mac e11 v w (iv + 1) (iw + 1) fre fim
+    let base = 4 * node in
+    let e00 = mv.Dd.ch.(base) and e01 = mv.Dd.ch.(base + 1) in
+    let e10 = mv.Dd.ch.(base + 2) and e11 = mv.Dd.ch.(base + 3) in
+    if e00 <> 0 then mac mv e00 v w iv iw fre fim;
+    if e01 <> 0 then mac mv e01 v w (iv + 1) iw fre fim;
+    if e10 <> 0 then mac mv e10 v w iv (iw + 1) fre fim;
+    if e11 <> 0 then mac mv e11 v w (iv + 1) (iw + 1) fre fim
   end
-  else if node == Dd.mterminal then begin
-    (* Degenerate n = 0 case (a border task at level -1). *)
+  else if node = 0 then begin
+    (* Degenerate n = 0 case (a border task at the terminal). *)
     let vre = v.(2 * iv) and vim = v.((2 * iv) + 1) in
     w.(2 * iw) <- w.(2 * iw) +. ((fre *. vre) -. (fim *. vim));
     w.((2 * iw) + 1) <- w.((2 * iw) + 1) +. ((fre *. vim) +. (fim *. vre))
   end
   else begin
-    let half = 1 lsl node.Dd.mlevel in
-    let e00 = node.Dd.e00 and e01 = node.Dd.e01 in
-    let e10 = node.Dd.e10 and e11 = node.Dd.e11 in
-    if not (Dd.medge_is_zero e00) then begin
-      let ew = e00.Dd.mw in
-      run_node e00.Dd.mtgt v w iv iw
-        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
-        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    let half = 1 lsl mv.Dd.lv.(node) in
+    let base = 4 * node in
+    let e00 = mv.Dd.ch.(base) and e01 = mv.Dd.ch.(base + 1) in
+    let e10 = mv.Dd.ch.(base + 2) and e11 = mv.Dd.ch.(base + 3) in
+    if e00 <> 0 then begin
+      let wid = Dd.edge_wid e00 in
+      let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+      run_node mv (Dd.edge_tgt e00) v w iv iw
+        ((fre *. er) -. (fim *. ei))
+        ((fre *. ei) +. (fim *. er))
     end;
-    if not (Dd.medge_is_zero e01) then begin
-      let ew = e01.Dd.mw in
-      run_node e01.Dd.mtgt v w (iv + half) iw
-        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
-        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    if e01 <> 0 then begin
+      let wid = Dd.edge_wid e01 in
+      let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+      run_node mv (Dd.edge_tgt e01) v w (iv + half) iw
+        ((fre *. er) -. (fim *. ei))
+        ((fre *. ei) +. (fim *. er))
     end;
-    if not (Dd.medge_is_zero e10) then begin
-      let ew = e10.Dd.mw in
-      run_node e10.Dd.mtgt v w iv (iw + half)
-        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
-        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    if e10 <> 0 then begin
+      let wid = Dd.edge_wid e10 in
+      let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+      run_node mv (Dd.edge_tgt e10) v w iv (iw + half)
+        ((fre *. er) -. (fim *. ei))
+        ((fre *. ei) +. (fim *. er))
     end;
-    if not (Dd.medge_is_zero e11) then begin
-      let ew = e11.Dd.mw in
-      run_node e11.Dd.mtgt v w (iv + half) (iw + half)
-        ((fre *. ew.Cnum.re) -. (fim *. ew.Cnum.im))
-        ((fre *. ew.Cnum.im) +. (fim *. ew.Cnum.re))
+    if e11 <> 0 then begin
+      let wid = Dd.edge_wid e11 in
+      let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+      run_node mv (Dd.edge_tgt e11) v w (iv + half) (iw + half)
+        ((fre *. er) -. (fim *. ei))
+        ((fre *. ei) +. (fim *. er))
     end
   end
 
@@ -67,21 +79,21 @@ type task = { node : Dd.mnode; start : int; weight : Cnum.t }
 
 (* Algorithm 1's Assign: row-major traversal of the top log₂ t levels.
    The thread index follows row bits; the V offset follows column bits. *)
-let assign_rows ~n ~t (root : Dd.medge) =
+let assign_rows p ~n ~t (root : Dd.medge) =
   let border = n - Bits.log2_exact t - 1 in
   let tasks = Array.make t [] in
   let rec go (e : Dd.medge) (f : Cnum.t) u iv l =
     if not (Dd.medge_is_zero e) then begin
       if l = border then
-        tasks.(u) <- { node = e.Dd.mtgt; start = iv; weight = Cnum.mul f e.Dd.mw }
+        tasks.(u) <- { node = Dd.mtgt e; start = iv; weight = Cnum.mul f (Dd.mw p e) }
                      :: tasks.(u)
       else begin
         let step = t / (1 lsl (n - l)) in
         let half = 1 lsl l in
-        let f' = Cnum.mul f e.Dd.mw in
+        let f' = Cnum.mul f (Dd.mw p e) in
         for i = 0 to 1 do
           for j = 0 to 1 do
-            go (Dd.medge_child e i j) f' (u + (i * step)) (iv + (j * half)) (l - 1)
+            go (Dd.medge_child p e i j) f' (u + (i * step)) (iv + (j * half)) (l - 1)
           done
         done
       end
@@ -92,21 +104,21 @@ let assign_rows ~n ~t (root : Dd.medge) =
 
 (* Algorithm 2's AssignCache: column-major — the thread index follows
    column bits, the partial-output offset follows row bits. *)
-let assign_cols ~n ~t (root : Dd.medge) =
+let assign_cols p ~n ~t (root : Dd.medge) =
   let border = n - Bits.log2_exact t - 1 in
   let tasks = Array.make t [] in
   let rec go (e : Dd.medge) (f : Cnum.t) u ip l =
     if not (Dd.medge_is_zero e) then begin
       if l = border then
-        tasks.(u) <- { node = e.Dd.mtgt; start = ip; weight = Cnum.mul f e.Dd.mw }
+        tasks.(u) <- { node = Dd.mtgt e; start = ip; weight = Cnum.mul f (Dd.mw p e) }
                      :: tasks.(u)
       else begin
         let step = t / (1 lsl (n - l)) in
         let half = 1 lsl l in
-        let f' = Cnum.mul f e.Dd.mw in
+        let f' = Cnum.mul f (Dd.mw p e) in
         for j = 0 to 1 do
           for i = 0 to 1 do
-            go (Dd.medge_child e i j) f' (u + (j * step)) (ip + (i * half)) (l - 1)
+            go (Dd.medge_child p e i j) f' (u + (j * step)) (ip + (i * half)) (l - 1)
           done
         done
       end
@@ -126,13 +138,14 @@ let fc_macs_modeled_cached = Obs.fcounter "dmav.macs.modeled_cached"
 let fc_macs_modeled_uncached = Obs.fcounter "dmav.macs.modeled_uncached"
 let s_apply = Obs.span "dmav.apply"
 
-let apply_nocache ~pool ~n root ~v ~w =
+let apply_nocache p ~pool ~n root ~v ~w =
   if Buf.length v <> 1 lsl n || Buf.length w <> 1 lsl n then
     invalid_arg "Dmav.apply_nocache: buffer size mismatch";
   Obs.incr c_kernel_uncached;
   let t = Cost.pow2_threads ~n (Pool.size pool) in
   let h = (1 lsl n) / t in
-  let tasks = assign_rows ~n ~t root in
+  let tasks = assign_rows p ~n ~t root in
+  let mv = Dd.mview p in
   Buf.fill_zero w;
   let vd = v.Buf.data and wd = w.Buf.data in
   (* Check mode: each worker claims its W stripe on a region scoped to
@@ -150,7 +163,7 @@ let apply_nocache ~pool ~n root ~v ~w =
         claim (u * h) ((u + 1) * h);
         List.iter
           (fun task ->
-             run_node task.node vd wd task.start (u * h)
+             run_node mv (Dd.mid task.node) vd wd task.start (u * h)
                task.weight.Cnum.re task.weight.Cnum.im)
           tasks.(u)
       end)
@@ -197,13 +210,14 @@ let return_buffers ws bufs =
     ws.free <- List.rev_append bufs ws.free
   | None -> ()
 
-let apply_cache ?workspace ~pool ~n root ~v ~w =
+let apply_cache ?workspace p ~pool ~n root ~v ~w =
   if Buf.length v <> 1 lsl n || Buf.length w <> 1 lsl n then
     invalid_arg "Dmav.apply_cache: buffer size mismatch";
   Obs.incr c_kernel_cached;
   let t = Cost.pow2_threads ~n (Pool.size pool) in
   let h = (1 lsl n) / t in
-  let tasks = assign_cols ~n ~t root in
+  let tasks = assign_cols p ~n ~t root in
+  let mv = Dd.mview p in
   (* Buffer allocation over the threads' output-block sets. *)
   let blocks = Array.map (List.map (fun task -> task.start)) tasks in
   let v_b, n_buffers = Cost.allocate_buffers blocks in
@@ -255,7 +269,7 @@ let apply_cache ?workspace ~pool ~n root ~v ~w =
         List.iter
           (fun task ->
              claim u task.start;
-             match Hashtbl.find_opt cache task.node.Dd.mid with
+             match Hashtbl.find_opt cache (Dd.mid task.node) with
              | Some (f0, ip0) ->
                (* Same sub-matrix node, same V slice: the new block is the
                   old one scaled by the weight ratio. *)
@@ -263,9 +277,9 @@ let apply_cache ?workspace ~pool ~n root ~v ~w =
                Buf.scale_into ~src:buf ~src_pos:ip0 ~dst:buf ~dst_pos:task.start
                  ~len:h (Cnum.div task.weight f0)
              | None ->
-               run_node task.node vd bd (u * h) task.start
+               run_node mv (Dd.mid task.node) vd bd (u * h) task.start
                  task.weight.Cnum.re task.weight.Cnum.im;
-               Hashtbl.replace cache task.node.Dd.mid (task.weight, task.start))
+               Hashtbl.replace cache (Dd.mid task.node) (task.weight, task.start))
           tasks.(u)
       end);
   Array.iter (fun c -> hits := !hits + c) hit_counts;
@@ -294,7 +308,7 @@ type exec_stats = {
   buffers_used : int;
 }
 
-let apply_decided ?workspace:ws ~pool ~n decision root ~v ~w =
+let apply_decided ?workspace:ws p ~pool ~n decision root ~v ~w =
   if Obs.enabled () then begin
     let t = float_of_int decision.Cost.threads_used in
     Obs.fadd fc_macs_modeled (Cost.modeled_macs decision);
@@ -303,14 +317,14 @@ let apply_decided ?workspace:ws ~pool ~n decision root ~v ~w =
   end;
   Obs.with_span s_apply (fun () ->
       if decision.Cost.cached then begin
-        let hits, buffers = apply_cache ?workspace:ws ~pool ~n root ~v ~w in
+        let hits, buffers = apply_cache ?workspace:ws p ~pool ~n root ~v ~w in
         { used_cache = true; decision; cache_hits = hits; buffers_used = buffers }
       end
       else begin
-        apply_nocache ~pool ~n root ~v ~w;
+        apply_nocache p ~pool ~n root ~v ~w;
         { used_cache = false; decision; cache_hits = 0; buffers_used = 0 }
       end)
 
-let apply ?workspace:ws ~pool ~simd_width ~n root ~v ~w =
-  let decision = Cost.decide ~n ~threads:(Pool.size pool) ~simd_width root in
-  apply_decided ?workspace:ws ~pool ~n decision root ~v ~w
+let apply ?workspace:ws p ~pool ~simd_width ~n root ~v ~w =
+  let decision = Cost.decide p ~n ~threads:(Pool.size pool) ~simd_width root in
+  apply_decided ?workspace:ws p ~pool ~n decision root ~v ~w

@@ -46,6 +46,7 @@ type exec_stats = {
 
 val apply :
   ?workspace:workspace ->
+  Dd.package ->
   pool:Pool.t ->
   simd_width:int ->
   n:int ->
@@ -59,6 +60,7 @@ val apply :
 
 val apply_decided :
   ?workspace:workspace ->
+  Dd.package ->
   pool:Pool.t ->
   n:int ->
   Cost.decision ->
@@ -70,11 +72,13 @@ val apply_decided :
     ran the cost model (the driver's per-gate dispatch) does not pay for
     it twice. *)
 
-val apply_nocache : pool:Pool.t -> n:int -> Dd.medge -> v:Buf.t -> w:Buf.t -> unit
+val apply_nocache :
+  Dd.package -> pool:Pool.t -> n:int -> Dd.medge -> v:Buf.t -> w:Buf.t -> unit
 (** Algorithm 1, unconditionally. *)
 
 val apply_cache :
   ?workspace:workspace ->
+  Dd.package ->
   pool:Pool.t ->
   n:int ->
   Dd.medge ->

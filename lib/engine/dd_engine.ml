@@ -30,7 +30,7 @@ let apply_op st (xo : Engine.exec_op) =
   st.edge <- Dd.mv p g st.edge;
   Engine.no_stats
 
-let size_metric st = Dd.vnode_count st.edge
+let size_metric st = Dd.vnode_count st.ctx.Engine.package st.edge
 let memory_bytes st = Dd.memory_bytes st.ctx.Engine.package
 let compact st = Dd.compact st.ctx.Engine.package ~vroots:[ st.edge ] ~mroots:[]
 let observe st = Dd.observe_gauges st.ctx.Engine.package

@@ -42,10 +42,11 @@ let apply_dmav st (xo : Engine.exec_op) decided =
   let s =
     match decided with
     | Some decision ->
-      Dmav.apply_decided ~workspace:st.ctx.Engine.workspace ~pool:st.ctx.Engine.pool
-        ~n:st.n decision m ~v:st.v ~w:st.w
+      Dmav.apply_decided ~workspace:st.ctx.Engine.workspace st.ctx.Engine.package
+        ~pool:st.ctx.Engine.pool ~n:st.n decision m ~v:st.v ~w:st.w
     | None ->
-      Dmav.apply ~workspace:st.ctx.Engine.workspace ~pool:st.ctx.Engine.pool
+      Dmav.apply ~workspace:st.ctx.Engine.workspace st.ctx.Engine.package
+        ~pool:st.ctx.Engine.pool
         ~simd_width:st.ctx.Engine.cfg.Config.simd_width ~n:st.n m ~v:st.v ~w:st.w
   in
   if s.Dmav.buffers_used > st.max_buffers then st.max_buffers <- s.Dmav.buffers_used;

@@ -92,7 +92,7 @@ let flat_plan (ctx : Engine.ctx) ~n ~first_index ops =
          let disp =
            if cfg.Config.dense_dispatch then
              Some
-               (Cost.dispatch ~n ~threads:(Pool.size ctx.Engine.pool)
+               (Cost.dispatch p ~n ~threads:(Pool.size ctx.Engine.pool)
                   ~simd_width:cfg.Config.simd_width ?op m)
            else None
          in
@@ -217,7 +217,7 @@ let run ?cancel ?pool ?workspace (cfg : Config.t) (c : Circuit.t) =
            Obs.incr c_conversions;
            let buf_stats, dt =
              Obs.timed s_convert (fun () ->
-                 Convert.parallel ~pool ~n (Dd_engine.edge dd))
+                 Convert.parallel (Dd_engine.package dd) ~pool ~n (Dd_engine.edge dd))
            in
            let buf, stats = buf_stats in
            conversion_stats := Some stats;
@@ -360,4 +360,4 @@ let run_engine (type s) ?cancel ?pool ?workspace
 let amplitudes r =
   match r.final with
   | Engine.Flat_state buf -> buf
-  | Engine.Dd_state { edge; _ } -> Convert.sequential ~n:r.n edge
+  | Engine.Dd_state { package; edge } -> Convert.sequential package ~n:r.n edge

@@ -6,8 +6,8 @@ type stats = {
   macs_after : float;
 }
 
-let sum_macs gates =
-  List.fold_left (fun acc g -> acc +. Cost.mac_count g) 0.0 gates
+let sum_macs p gates =
+  List.fold_left (fun acc g -> acc +. Cost.mac_count p g) 0.0 gates
 
 (* "accepted" = a DDMM product was kept as the pending fused gate;
    "rejected" = the product cost more modeled MACs than applying the two
@@ -20,13 +20,13 @@ let c_accepted = Obs.counter "fusion.accepted"
 let c_rejected = Obs.counter "fusion.rejected"
 let fc_macs_saved = Obs.fcounter "fusion.macs_saved"
 
-let finish ~gates_in ~ddmm_calls ~macs_before out =
+let finish p ~gates_in ~ddmm_calls ~macs_before out =
   let st =
     { gates_in;
       gates_out = List.length out;
       ddmm_calls;
       macs_before;
-      macs_after = sum_macs out }
+      macs_after = sum_macs p out }
   in
   if Obs.enabled () then begin
     Obs.incr c_runs;
@@ -38,7 +38,7 @@ let finish ~gates_in ~ddmm_calls ~macs_before out =
   (out, st)
 
 let dmav_aware p gates =
-  let macs_before = sum_macs gates in
+  let macs_before = sum_macs p gates in
   let ddmm = ref 0 in
   (* M_p starts as a virtual identity with zero cost: the first real gate
      always "fuses" into it, so the identity itself is never emitted. *)
@@ -47,7 +47,7 @@ let dmav_aware p gates =
   let c_p = ref 0.0 in
   List.iter
     (fun m_i ->
-       let c_i = Cost.mac_count m_i in
+       let c_i = Cost.mac_count p m_i in
        match !m_p with
        | None ->
          m_p := Some m_i;
@@ -56,7 +56,7 @@ let dmav_aware p gates =
          incr ddmm;
          (* Gates apply left-to-right, so the fused operator is M_i · M_p. *)
          let m_ip = Dd.mm p m_i prev in
-         let c_ip = Cost.mac_count m_ip in
+         let c_ip = Cost.mac_count p m_ip in
          if c_i +. !c_p < c_ip then begin
            Obs.incr c_rejected;
            out := prev :: !out;
@@ -72,12 +72,12 @@ let dmav_aware p gates =
   (* The paper's Algorithm 3 leaves the final pending gate implicit; it
      must be emitted for the product to be complete. *)
   (match !m_p with Some m -> out := m :: !out | None -> ());
-  finish ~gates_in:(List.length gates) ~ddmm_calls:!ddmm ~macs_before
+  finish p ~gates_in:(List.length gates) ~ddmm_calls:!ddmm ~macs_before
     (List.rev !out)
 
 let k_operations p ~k gates =
   if k < 1 then invalid_arg "Fusion.k_operations: k must be >= 1";
-  let macs_before = sum_macs gates in
+  let macs_before = sum_macs p gates in
   let ddmm = ref 0 in
   let out = ref [] in
   let pending = ref None in
@@ -100,5 +100,5 @@ let k_operations p ~k gates =
        end)
     gates;
   (match !pending with Some m -> out := m :: !out | None -> ());
-  finish ~gates_in:(List.length gates) ~ddmm_calls:!ddmm ~macs_before
+  finish p ~gates_in:(List.length gates) ~ddmm_calls:!ddmm ~macs_before
     (List.rev !out)

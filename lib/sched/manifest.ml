@@ -168,7 +168,7 @@ let load ?default_config ?base_seed path =
 let p0_of result =
   match result.Simulator.final with
   | Simulator.Flat_state buf -> Cnum.norm2 (Buf.get buf 0)
-  | Simulator.Dd_state { edge; _ } -> Cnum.norm2 (Dd.vamplitude edge 0)
+  | Simulator.Dd_state { package; edge } -> Cnum.norm2 (Dd.vamplitude package edge 0)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in

@@ -7,8 +7,8 @@ let test_sequential_matches_statevec () =
     (fun seed ->
        let n = 6 in
        let c = Test_util.random_circuit ~seed ~gates:30 n in
-       let _p, e = dd_of_circuit c in
-       let buf = Convert.sequential ~n e in
+       let p, e = dd_of_circuit c in
+       let buf = Convert.sequential p ~n e in
        let sv = Apply.run c in
        Test_util.check_close ~tol:1e-9
          (Printf.sprintf "sequential conversion (seed %d)" seed) buf sv.State.amps)
@@ -30,21 +30,21 @@ let test_parallel_matches_sequential_families () =
       List.iter
         (fun c ->
            let n = c.Circuit.n in
-           let _p, e = dd_of_circuit c in
-           let seq = Convert.sequential ~n e in
-           let par = Convert.parallel_ ~pool ~n e in
+           let p, e = dd_of_circuit c in
+           let seq = Convert.sequential p ~n e in
+           let par = Convert.parallel_ p ~pool ~n e in
            Test_util.check_close ~tol:1e-12 c.Circuit.name seq par)
         cases)
 
 let test_parallel_thread_counts () =
   let c = Supremacy.circuit ~cycles:8 10 in
   let n = 10 in
-  let _p, e = dd_of_circuit c in
-  let seq = Convert.sequential ~n e in
+  let p, e = dd_of_circuit c in
+  let seq = Convert.sequential p ~n e in
   List.iter
     (fun threads ->
        Pool.with_pool threads (fun pool ->
-           let par = Convert.parallel_ ~pool ~n e in
+           let par = Convert.parallel_ p ~pool ~n e in
            Test_util.check_close ~tol:1e-12
              (Printf.sprintf "%d threads" threads) seq par))
     [ 1; 2; 3; 4; 8 ]
@@ -58,9 +58,9 @@ let test_fills_exercised () =
     Circuit.Builder.h b q
   done;
   let c = Circuit.Builder.finish b in
-  let _p, e = dd_of_circuit c in
+  let p, e = dd_of_circuit c in
   Pool.with_pool 4 (fun pool ->
-      let buf, stats = Convert.parallel ~pool ~n e in
+      let buf, stats = Convert.parallel p ~pool ~n e in
       Alcotest.(check bool) "fills occurred" true (stats.Convert.fills > 0);
       Alcotest.(check bool) "most amplitudes filled by scaling" true
         (stats.Convert.filled_amplitudes >= (1 lsl n) / 2);
@@ -77,20 +77,20 @@ let test_fills_with_phases () =
     Circuit.Builder.phase b (Float.pi /. float_of_int (q + 1)) q
   done;
   let c = Circuit.Builder.finish b in
-  let _p, e = dd_of_circuit c in
-  let seq = Convert.sequential ~n e in
+  let p, e = dd_of_circuit c in
+  let seq = Convert.sequential p ~n e in
   Pool.with_pool 4 (fun pool ->
-      let par, stats = Convert.parallel ~pool ~n e in
+      let par, stats = Convert.parallel p ~pool ~n e in
       Alcotest.(check bool) "fills occurred" true (stats.Convert.fills > 0);
       Test_util.check_close ~tol:1e-12 "phases preserved" seq par)
 
 let test_zero_and_basis_edges () =
   let p = Dd.create () in
   Pool.with_pool 2 (fun pool ->
-      let buf = Convert.parallel_ ~pool ~n:5 Dd.vzero in
+      let buf = Convert.parallel_ p ~pool ~n:5 Dd.vzero in
       Alcotest.(check (float 0.0)) "zero edge converts to zero vector" 0.0 (Buf.norm2 buf);
       let basis = Vec_dd.basis_state p 5 19 in
-      let buf = Convert.parallel_ ~pool ~n:5 basis in
+      let buf = Convert.parallel_ p ~pool ~n:5 basis in
       Alcotest.(check (float 1e-12)) "basis state" 1.0 (Cnum.norm2 (Buf.get buf 19));
       Alcotest.(check (float 1e-12)) "nothing else" 1.0 (Buf.norm2 buf))
 
@@ -108,19 +108,19 @@ let test_load_balancing_skewed_dd () =
     Circuit.Builder.cx b ~control:q ~target:(q + 1)
   done;
   let c = Circuit.Builder.finish b in
-  let _p, e = dd_of_circuit c in
-  let seq = Convert.sequential ~n e in
+  let p, e = dd_of_circuit c in
+  let seq = Convert.sequential p ~n e in
   Pool.with_pool 8 (fun pool ->
-      let par, stats = Convert.parallel ~pool ~n e in
+      let par, stats = Convert.parallel p ~pool ~n e in
       Test_util.check_close ~tol:1e-12 "skewed DD" seq par;
       Alcotest.(check bool) "split produced parallel tasks" true
         (stats.Convert.tasks > 1))
 
 let test_stats_sane () =
   let c = Supremacy.circuit ~cycles:6 10 in
-  let _p, e = dd_of_circuit c in
+  let p, e = dd_of_circuit c in
   Pool.with_pool 4 (fun pool ->
-      let _, stats = Convert.parallel ~pool ~n:10 e in
+      let _, stats = Convert.parallel p ~pool ~n:10 e in
       Alcotest.(check bool) "tasks positive" true (stats.Convert.tasks > 0);
       Alcotest.(check bool) "fills nonneg" true (stats.Convert.fills >= 0))
 
@@ -130,10 +130,10 @@ let prop_parallel_equals_sequential =
     (fun (seed, threads) ->
        let n = 7 in
        let c = Test_util.random_circuit ~seed ~gates:25 n in
-       let _p, e = dd_of_circuit c in
-       let seq = Convert.sequential ~n e in
+       let p, e = dd_of_circuit c in
+       let seq = Convert.sequential p ~n e in
        Pool.with_pool threads (fun pool ->
-           let par = Convert.parallel_ ~pool ~n e in
+           let par = Convert.parallel_ p ~pool ~n e in
            Buf.max_abs_diff seq par < 1e-12))
 
 let suite =

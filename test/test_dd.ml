@@ -11,8 +11,8 @@ let test_canonicity_same_vector_same_node () =
   let buf = Buf.of_array [| Cnum.make 0.6 0.0; Cnum.make 0.0 0.8 |] in
   let e1 = Vec_dd.of_buf p buf in
   let e2 = Vec_dd.of_buf p (Buf.copy buf) in
-  Alcotest.(check bool) "same physical node" true (e1.Dd.vtgt == e2.Dd.vtgt);
-  ceq "same weight" e1.Dd.vw e2.Dd.vw
+  Alcotest.(check bool) "same physical node" true (Dd.vtgt e1 = Dd.vtgt e2);
+  ceq "same weight" (Dd.vw p e1) (Dd.vw p e2)
 
 let test_canonicity_scalar_multiple_shares_node () =
   (* A vector and twice the vector must share the node, differing only in
@@ -22,8 +22,8 @@ let test_canonicity_scalar_multiple_shares_node () =
   let w = Array.map (Cnum.scale 2.0) v in
   let e1 = Vec_dd.of_buf p (Buf.of_array v) in
   let e2 = Vec_dd.of_buf p (Buf.of_array w) in
-  Alcotest.(check bool) "shared node" true (e1.Dd.vtgt == e2.Dd.vtgt);
-  ceq "weight doubled" (Cnum.scale 2.0 e1.Dd.vw) e2.Dd.vw
+  Alcotest.(check bool) "shared node" true (Dd.vtgt e1 = Dd.vtgt e2);
+  ceq "weight doubled" (Cnum.scale 2.0 (Dd.vw p e1)) (Dd.vw p e2)
 
 let test_normalization_invariant () =
   (* Outgoing weights of any node have magnitude <= 1 and at least one
@@ -32,17 +32,18 @@ let test_normalization_invariant () =
   let buf = Test_util.random_state ~seed:3 5 in
   let root = Vec_dd.of_buf p buf in
   let rec walk (n : Dd.vnode) =
-    if n != Dd.vterminal then begin
-      let m0 = Cnum.norm n.Dd.v0.Dd.vw and m1 = Cnum.norm n.Dd.v1.Dd.vw in
+    if n <> Dd.vterminal then begin
+      let e0 = Dd.v0 p n and e1 = Dd.v1 p n in
+      let m0 = Cnum.norm (Dd.vw p e0) and m1 = Cnum.norm (Dd.vw p e1) in
       if m0 > 1.0 +. 1e-9 || m1 > 1.0 +. 1e-9 then
         Alcotest.failf "outgoing weight above 1: %f %f" m0 m1;
       if Float.max m0 m1 < 1.0 -. 1e-9 then
         Alcotest.failf "no unit-magnitude outgoing weight: %f %f" m0 m1;
-      if not (Dd.vedge_is_zero n.Dd.v0) then walk n.Dd.v0.Dd.vtgt;
-      if not (Dd.vedge_is_zero n.Dd.v1) then walk n.Dd.v1.Dd.vtgt
+      if not (Dd.vedge_is_zero e0) then walk (Dd.vtgt e0);
+      if not (Dd.vedge_is_zero e1) then walk (Dd.vtgt e1)
     end
   in
-  walk root.Dd.vtgt
+  walk (Dd.vtgt root)
 
 let test_zero_collapses () =
   let p = Dd.create () in
@@ -59,7 +60,7 @@ let test_near_zero_weights_snap () =
   let buf = Buf.of_array [| Cnum.one; Cnum.make 1e-14 1e-14 |] in
   let e = Vec_dd.of_buf p buf in
   Alcotest.(check bool) "tiny amplitude snapped to zero edge" true
-    (Dd.vedge_is_zero e.Dd.vtgt.Dd.v1)
+    (Dd.vedge_is_zero (Dd.v1 p (Dd.vtgt e)))
 
 (* -------------------------------------------------------------------- *)
 (* Structure sizes                                                        *)
@@ -67,24 +68,24 @@ let test_near_zero_weights_snap () =
 
 let test_node_counts () =
   let p = Dd.create () in
-  Alcotest.(check int) "zero state is a chain" 6 (Dd.vnode_count (Vec_dd.zero_state p 6));
+  Alcotest.(check int) "zero state is a chain" 6 (Dd.vnode_count p (Vec_dd.zero_state p 6));
   Alcotest.(check int) "basis state is a chain" 6
-    (Dd.vnode_count (Vec_dd.basis_state p 6 43));
+    (Dd.vnode_count p (Vec_dd.basis_state p 6 43));
   (* Uniform superposition also compresses to a chain. *)
   let dim = 1 lsl 6 in
   let uniform = Buf.init dim (fun _ -> Cnum.of_float (1.0 /. 8.0)) in
   Alcotest.(check int) "uniform state is a chain" 6
-    (Dd.vnode_count (Vec_dd.of_buf p uniform));
-  Alcotest.(check int) "zero edge has no nodes" 0 (Dd.vnode_count Dd.vzero);
+    (Dd.vnode_count p (Vec_dd.of_buf p uniform));
+  Alcotest.(check int) "zero edge has no nodes" 0 (Dd.vnode_count p Dd.vzero);
   Alcotest.(check int) "identity matrix is a chain" 6
-    (Dd.mnode_count (Mat_dd.identity p 6))
+    (Dd.mnode_count p (Mat_dd.identity p 6))
 
 let test_random_state_is_dense () =
   let p = Dd.create () in
   let buf = Test_util.random_state ~seed:5 7 in
   let e = Vec_dd.of_buf p buf in
   (* A generic random state has no structure: close to 2^n - 1 nodes. *)
-  Alcotest.(check bool) "dense DD" true (Dd.vnode_count e > 100)
+  Alcotest.(check bool) "dense DD" true (Dd.vnode_count p e > 100)
 
 (* -------------------------------------------------------------------- *)
 (* Round trips and amplitude walks                                        *)
@@ -105,15 +106,15 @@ let test_amplitude_walk_matches_to_buf () =
   let buf = Test_util.random_state ~seed:9 5 in
   let e = Vec_dd.of_buf p buf in
   for i = 0 to 31 do
-    ceq (Printf.sprintf "amplitude %d" i) (Buf.get buf i) (Dd.vamplitude e i)
+    ceq (Printf.sprintf "amplitude %d" i) (Buf.get buf i) (Dd.vamplitude p e i)
   done
 
 let test_vec_norm2 () =
   let p = Dd.create () in
   let buf = Test_util.random_state ~seed:11 6 in
   let e = Vec_dd.of_buf p buf in
-  Alcotest.(check (float 1e-9)) "norm via DD" (Buf.norm2 buf) (Vec_dd.norm2 e);
-  Alcotest.(check (float 0.0)) "zero norm" 0.0 (Vec_dd.norm2 Dd.vzero)
+  Alcotest.(check (float 1e-9)) "norm via DD" (Buf.norm2 buf) (Vec_dd.norm2 p e);
+  Alcotest.(check (float 0.0)) "zero norm" 0.0 (Vec_dd.norm2 p Dd.vzero)
 
 (* -------------------------------------------------------------------- *)
 (* Arithmetic                                                             *)
@@ -127,15 +128,15 @@ let test_vadd_matches_dense () =
   let sum = Dd.vadd p ea eb in
   for i = 0 to 31 do
     ceq (Printf.sprintf "sum[%d]" i) (Cnum.add (Buf.get a i) (Buf.get b i))
-      (Dd.vamplitude sum i)
+      (Dd.vamplitude p sum i)
   done
 
 let test_vadd_identities () =
   let p = Dd.create () in
   let a = Vec_dd.of_buf p (Test_util.random_state ~seed:23 4) in
   let z = Dd.vadd p a Dd.vzero in
-  Alcotest.(check bool) "a + 0 = a (same node)" true (z.Dd.vtgt == a.Dd.vtgt);
-  ceq "a + 0 weight" a.Dd.vw z.Dd.vw;
+  Alcotest.(check bool) "a + 0 = a (same node)" true (Dd.vtgt z = Dd.vtgt a);
+  ceq "a + 0 weight" (Dd.vw p a) (Dd.vw p z);
   (* a + (-a) = 0 *)
   let neg = Dd.vscale p a Cnum.minus_one in
   Alcotest.(check bool) "a - a = 0" true (Dd.vedge_is_zero (Dd.vadd p a neg))
@@ -147,9 +148,9 @@ let test_vadd_cache_consistency () =
   let two_a = Dd.vadd p a a in
   let four_a = Dd.vadd p two_a two_a in
   for i = 0 to 31 do
-    ceq "4a" (Cnum.scale 4.0 (Dd.vamplitude a i)) (Dd.vamplitude four_a i)
+    ceq "4a" (Cnum.scale 4.0 (Dd.vamplitude p a i)) (Dd.vamplitude p four_a i)
   done;
-  Alcotest.(check bool) "4a shares a's node" true (four_a.Dd.vtgt == a.Dd.vtgt)
+  Alcotest.(check bool) "4a shares a's node" true (Dd.vtgt four_a = Dd.vtgt a)
 
 let dense_mv n m v =
   let dim = 1 lsl n in
@@ -173,7 +174,7 @@ let test_mv_matches_dense () =
        let rdd = Dd.mv p mdd vdd in
        let expect = dense_mv n mdense (Buf.to_array vbuf) in
        for i = 0 to (1 lsl n) - 1 do
-         ceq (Printf.sprintf "mv[%d] target=%d" i target) expect.(i) (Dd.vamplitude rdd i)
+         ceq (Printf.sprintf "mv[%d] target=%d" i target) expect.(i) (Dd.vamplitude p rdd i)
        done)
     [ (0, []); (3, []); (1, [ 0 ]); (0, [ 3 ]); (2, [ 0; 3 ]) ]
 
@@ -191,7 +192,7 @@ let test_mm_matches_dense () =
       for k = 0 to dim - 1 do
         acc := Cnum.add !acc (Cnum.mul ad.(r).(k) bd.(k).(c))
       done;
-      ceq (Printf.sprintf "mm[%d][%d]" r c) !acc (Dd.mentry ab r c)
+      ceq (Printf.sprintf "mm[%d][%d]" r c) !acc (Dd.mentry p ab r c)
     done
   done
 
@@ -202,7 +203,7 @@ let test_mm_unitary_times_adjoint () =
   let m = Mat_dd.of_single p ~n ~target:2 ~controls:[ 0 ] g in
   let mdag = Mat_dd.of_single p ~n ~target:2 ~controls:[ 0 ] (Gate.adjoint g) in
   let prod = Dd.mm p m mdag in
-  Alcotest.(check bool) "U·U† = I" true (Mat_dd.is_identity ~n prod)
+  Alcotest.(check bool) "U·U† = I" true (Mat_dd.is_identity p ~n prod)
 
 let test_mv_chain_equals_statevec () =
   (* Apply a full random circuit through DDs and compare amplitudes. *)
@@ -228,19 +229,19 @@ let test_gate_dd_entries () =
   (* H on qubit 1: check entries against the Kronecker structure. *)
   let m = Mat_dd.of_single p ~n ~target:1 ~controls:[] Gate.h in
   let s = 1.0 /. sqrt 2.0 in
-  ceq "(0,0)" (Cnum.of_float s) (Dd.mentry m 0 0);
-  ceq "(0,2)" (Cnum.of_float s) (Dd.mentry m 0 2);
-  ceq "(2,2)" (Cnum.of_float (-.s)) (Dd.mentry m 2 2);
-  ceq "(0,1)" Cnum.zero (Dd.mentry m 0 1);
-  ceq "(1,1)" (Cnum.of_float s) (Dd.mentry m 1 1);
-  ceq "(5,7)" (Cnum.of_float s) (Dd.mentry m 5 7)
+  ceq "(0,0)" (Cnum.of_float s) (Dd.mentry p m 0 0);
+  ceq "(0,2)" (Cnum.of_float s) (Dd.mentry p m 0 2);
+  ceq "(2,2)" (Cnum.of_float (-.s)) (Dd.mentry p m 2 2);
+  ceq "(0,1)" Cnum.zero (Dd.mentry p m 0 1);
+  ceq "(1,1)" (Cnum.of_float s) (Dd.mentry p m 1 1);
+  ceq "(5,7)" (Cnum.of_float s) (Dd.mentry p m 5 7)
 
 let test_gate_dd_node_count_linear () =
   (* Local gates must have O(n) DD nodes even on wide registers. *)
   let p = Dd.create () in
   let n = 20 in
   let m = Mat_dd.of_single p ~n ~target:10 ~controls:[ 3; 17 ] Gate.x in
-  Alcotest.(check bool) "O(n) nodes" true (Dd.mnode_count m <= 3 * n)
+  Alcotest.(check bool) "O(n) nodes" true (Dd.mnode_count p m <= 3 * n)
 
 let test_controlled_gate_dd_vs_statevec () =
   (* Controls below and above the target, compared against the statevec
@@ -260,7 +261,7 @@ let test_controlled_gate_dd_vs_statevec () =
          ceq
            (Printf.sprintf "t=%d ctrl=[%s] amp %d" target
               (String.concat "," (List.map string_of_int controls)) i)
-           (Buf.get st.State.amps i) (Dd.vamplitude rdd i)
+           (Buf.get st.State.amps i) (Dd.vamplitude p rdd i)
        done)
     [ (0, [ 1 ]); (4, [ 0 ]); (2, [ 0; 4 ]); (0, [ 2; 3; 4 ]); (3, [ 1; 2 ]) ]
 
@@ -278,13 +279,13 @@ let test_two_qubit_gate_dd_vs_statevec () =
        Apply.two st g ~q_hi ~q_lo;
        for i = 0 to (1 lsl n) - 1 do
          ceq (Printf.sprintf "fsim(%d,%d) amp %d" q_hi q_lo i)
-           (Buf.get st.State.amps i) (Dd.vamplitude rdd i)
+           (Buf.get st.State.amps i) (Dd.vamplitude p rdd i)
        done)
     [ (3, 0); (0, 3); (2, 1); (1, 2); (3, 2) ]
 
 let test_identity_dd () =
   let p = Dd.create () in
-  Alcotest.(check bool) "identity" true (Mat_dd.is_identity ~n:3 (Mat_dd.identity p 3))
+  Alcotest.(check bool) "identity" true (Mat_dd.is_identity p ~n:3 (Mat_dd.identity p 3))
 
 (* -------------------------------------------------------------------- *)
 (* Package maintenance                                                    *)
@@ -302,7 +303,7 @@ let test_compact_preserves_live_data () =
   Dd.compact p ~vroots:[ live ] ~mroots:[];
   let after_nodes = Dd.live_vnodes p in
   Alcotest.(check bool) "garbage collected" true (after_nodes < before_nodes);
-  Alcotest.(check int) "exactly the live nodes remain" (Dd.vnode_count live) after_nodes;
+  Alcotest.(check int) "exactly the live nodes remain" (Dd.vnode_count p live) after_nodes;
   let after = Vec_dd.to_buf p 5 live in
   Test_util.check_close ~tol:0.0 "live data unchanged" before after
 
@@ -331,11 +332,80 @@ let test_memory_accounting () =
 let test_mnode_count_gc () =
   let p = Dd.create () in
   let m = Mat_dd.of_single p ~n:6 ~target:3 ~controls:[] Gate.h in
-  let count = Dd.mnode_count m in
+  let count = Dd.mnode_count p m in
   Dd.compact p ~vroots:[] ~mroots:[ m ];
   Alcotest.(check int) "matrix nodes survive via mroots" count (Dd.live_mnodes p);
   Dd.compact p ~vroots:[] ~mroots:[];
   Alcotest.(check int) "dropped without roots" 0 (Dd.live_mnodes p)
+
+let test_gc_every_gate_differential () =
+  (* Compaction after every single gate must be amplitude-invariant: GC
+     only moves dead slots to the free list and bumps the epoch; live
+     structure, ctable values and recomputed cache entries are canonical,
+     so the final state is bit-identical to a run that never collects. *)
+  List.iter
+    (fun seed ->
+       let n = 5 in
+       let c = Test_util.random_circuit ~seed ~gates:30 n in
+       let base = Ddsim.run ~compact_every:0 c in
+       let gc = Ddsim.run ~compact_every:1 c in
+       Test_util.check_close ~tol:0.0
+         (Printf.sprintf "per-gate GC invariant (seed %d)" seed)
+         (Ddsim.final_amplitudes base n) (Ddsim.final_amplitudes gc n);
+       let p = gc.Ddsim.package in
+       Alcotest.(check bool) "vector free list nonzero after GC" true
+         (Dd.vfree_slots p > 0);
+       Alcotest.(check bool) "matrix free list nonzero after GC" true
+         (Dd.mfree_slots p > 0);
+       Alcotest.(check int) "epoch bumped once per gate" (Circuit.num_gates c)
+         (Dd.epoch p))
+    [ 7; 8; 9 ]
+
+let test_freelist_reuse_no_stale_cache () =
+  (* The hazard the epoch stamps exist for: a compute-cache entry recorded
+     before a GC is keyed on packed edges whose arena slots may be
+     reissued afterwards. Rebuilding the same vectors after a full
+     collection re-allocates from the free list, so the new packed edges
+     can collide bit-for-bit with pre-GC cache keys whose *result* edges
+     now dangle into recycled slots. A stale hit would return garbage;
+     the epoch check forces a recompute instead. *)
+  let p = Dd.create () in
+  let n = 5 in
+  let dim = 1 lsl n in
+  let check_sum msg abuf bbuf sum =
+    for i = 0 to dim - 1 do
+      ceq
+        (Printf.sprintf "%s [%d]" msg i)
+        (Cnum.add (Buf.get abuf i) (Buf.get bbuf i))
+        (Dd.vamplitude p sum i)
+    done
+  in
+  let abuf = Test_util.random_state ~seed:301 n in
+  let bbuf = Test_util.random_state ~seed:302 n in
+  let a = Vec_dd.of_buf p abuf and b = Vec_dd.of_buf p bbuf in
+  check_sum "pre-GC sum" abuf bbuf (Dd.vadd p a b);
+  (* Drop everything; every slot lands on the free list. *)
+  Dd.compact p ~vroots:[] ~mroots:[];
+  Alcotest.(check int) "full GC leaves no live nodes" 0 (Dd.live_vnodes p);
+  let free_after_gc = Dd.vfree_slots p in
+  Alcotest.(check bool) "free list populated by GC" true (free_after_gc > 0);
+  (* Identical construction sequence on the emptied arena: the recycled
+     indices make stale key collisions overwhelmingly likely if the epoch
+     check were broken. *)
+  let a' = Vec_dd.of_buf p abuf and b' = Vec_dd.of_buf p bbuf in
+  Alcotest.(check bool) "rebuild drew from the free list" true
+    (Dd.vfree_slots p < free_after_gc);
+  check_sum "post-GC rebuild sum" abuf bbuf (Dd.vadd p a' b');
+  (* Hammer a few more GC/rebuild cycles with fresh vectors so different
+     slot orderings are exercised too. *)
+  List.iter
+    (fun seed ->
+       Dd.compact p ~vroots:[] ~mroots:[];
+       let xbuf = Test_util.random_state ~seed n in
+       let ybuf = Test_util.random_state ~seed:(seed + 1000) n in
+       let x = Vec_dd.of_buf p xbuf and y = Vec_dd.of_buf p ybuf in
+       check_sum (Printf.sprintf "cycle seed %d" seed) xbuf ybuf (Dd.vadd p x y))
+    [ 311; 312; 313; 314 ]
 
 (* -------------------------------------------------------------------- *)
 (* Properties                                                             *)
@@ -366,7 +436,7 @@ let prop_mv_linear =
        let rhs = Dd.vadd p (Dd.mv p m a) (Dd.mv p m b) in
        let ok = ref true in
        for i = 0 to (1 lsl n) - 1 do
-         if not (Cnum.equal ~tol:1e-8 (Dd.vamplitude lhs i) (Dd.vamplitude rhs i)) then
+         if not (Cnum.equal ~tol:1e-8 (Dd.vamplitude p lhs i) (Dd.vamplitude p rhs i)) then
            ok := false
        done;
        !ok)
@@ -379,7 +449,7 @@ let prop_unitary_mv_preserves_norm =
        let m = Mat_dd.of_single p ~n ~target:(seed mod n) ~controls:[] (Gate.u3 1.1 0.2 2.2) in
        let v = Vec_dd.of_buf p (Test_util.random_state ~seed n) in
        let r = Dd.mv p m v in
-       Float.abs (Vec_dd.norm2 r -. Vec_dd.norm2 v) < 1e-8)
+       Float.abs (Vec_dd.norm2 p r -. Vec_dd.norm2 p v) < 1e-8)
 
 let suite =
   [ ( "dd",
@@ -412,6 +482,10 @@ let suite =
         Alcotest.test_case "compact then continue" `Quick test_compact_then_continue;
         Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
         Alcotest.test_case "matrix GC roots" `Quick test_mnode_count_gc;
+        Alcotest.test_case "per-gate GC differential" `Quick
+          test_gc_every_gate_differential;
+        Alcotest.test_case "free-list reuse: no stale cache hits" `Quick
+          test_freelist_reuse_no_stale_cache;
         QCheck_alcotest.to_alcotest prop_roundtrip;
         QCheck_alcotest.to_alcotest prop_mv_linear;
         QCheck_alcotest.to_alcotest prop_unitary_mv_preserves_norm ] ) ]

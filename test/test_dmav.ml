@@ -15,7 +15,7 @@ let test_nocache_matches_reference () =
         (fun op ->
            let m = Mat_dd.of_op p ~n op in
            let w = Buf.create (1 lsl n) in
-           Dmav.apply_nocache ~pool ~n m ~v:!v ~w;
+           Dmav.apply_nocache p ~pool ~n m ~v:!v ~w;
            let expect = reference_apply n op !v in
            Test_util.check_close ~tol:1e-10 "nocache kernel" expect w;
            v := w)
@@ -32,7 +32,7 @@ let test_cache_matches_reference () =
         (fun op ->
            let m = Mat_dd.of_op p ~n op in
            let w = Buf.create (1 lsl n) in
-           ignore (Dmav.apply_cache ~workspace:ws ~pool ~n m ~v:!v ~w);
+           ignore (Dmav.apply_cache ~workspace:ws p ~pool ~n m ~v:!v ~w);
            let expect = reference_apply n op !v in
            Test_util.check_close ~tol:1e-10 "cache kernel" expect w;
            v := w)
@@ -51,16 +51,16 @@ let test_kernels_agree_across_threads () =
   List.iter
     (fun m ->
        let reference = Buf.create (1 lsl n) in
-       Pool.with_pool 1 (fun pool -> Dmav.apply_nocache ~pool ~n m ~v ~w:reference);
+       Pool.with_pool 1 (fun pool -> Dmav.apply_nocache p ~pool ~n m ~v ~w:reference);
        List.iter
          (fun threads ->
             Pool.with_pool threads (fun pool ->
                 let w1 = Buf.create (1 lsl n) in
-                Dmav.apply_nocache ~pool ~n m ~v ~w:w1;
+                Dmav.apply_nocache p ~pool ~n m ~v ~w:w1;
                 Test_util.check_close ~tol:1e-12
                   (Printf.sprintf "nocache %d threads" threads) reference w1;
                 let w2 = Buf.create (1 lsl n) in
-                ignore (Dmav.apply_cache ~pool ~n m ~v ~w:w2);
+                ignore (Dmav.apply_cache p ~pool ~n m ~v ~w:w2);
                 Test_util.check_close ~tol:1e-12
                   (Printf.sprintf "cache %d threads" threads) reference w2))
          [ 1; 2; 4; 8; 16 ])
@@ -79,7 +79,7 @@ let test_auto_apply_full_circuit () =
            Array.iter
              (fun op ->
                 let m = Mat_dd.of_op p ~n op in
-                ignore (Dmav.apply ~workspace:ws ~pool ~simd_width:4 ~n m ~v:!v ~w:!w);
+                ignore (Dmav.apply ~workspace:ws p ~pool ~simd_width:4 ~n m ~v:!v ~w:!w);
                 let tmp = !v in
                 v := !w;
                 w := tmp)
@@ -99,7 +99,7 @@ let test_cache_hits_on_hadamard () =
   let v = Test_util.random_state ~seed:21 n in
   Pool.with_pool 4 (fun pool ->
       let w = Buf.create (1 lsl n) in
-      let hits, buffers = Dmav.apply_cache ~pool ~n m ~v ~w in
+      let hits, buffers = Dmav.apply_cache p ~pool ~n m ~v ~w in
       Alcotest.(check bool) "cache hits happen" true (hits > 0);
       Alcotest.(check bool) "buffers allocated" true (buffers >= 1))
 
@@ -114,9 +114,9 @@ let test_workspace_reuse () =
       let v = ref (Test_util.random_state ~seed:31 n) in
       for _round = 1 to 6 do
         let w = Buf.create (1 lsl n) in
-        ignore (Dmav.apply_cache ~workspace:ws ~pool ~n m ~v:!v ~w);
+        ignore (Dmav.apply_cache ~workspace:ws p ~pool ~n m ~v:!v ~w);
         let reference = Buf.create (1 lsl n) in
-        Dmav.apply_nocache ~pool ~n m ~v:!v ~w:reference;
+        Dmav.apply_nocache p ~pool ~n m ~v:!v ~w:reference;
         Test_util.check_close ~tol:1e-12 "workspace round" reference w;
         v := w
       done)
@@ -131,10 +131,9 @@ let brute_force_macs p ~n m =
   let count = ref 0 in
   for r = 0 to (1 lsl n) - 1 do
     for c = 0 to (1 lsl n) - 1 do
-      if not (Cnum.is_zero (Dd.mentry m r c)) then incr count
+      if not (Cnum.is_zero (Dd.mentry p m r c)) then incr count
     done
   done;
-  ignore p;
   float_of_int !count
 
 let test_mac_count_matches_brute_force () =
@@ -142,7 +141,7 @@ let test_mac_count_matches_brute_force () =
   let p = Dd.create () in
   List.iter
     (fun (name, m) ->
-       Alcotest.(check (float 0.0)) name (brute_force_macs p ~n m) (Cost.mac_count m))
+       Alcotest.(check (float 0.0)) name (brute_force_macs p ~n m) (Cost.mac_count p m))
     [ ("identity", Mat_dd.identity p n);
       ("h q0", Mat_dd.of_single p ~n ~target:0 ~controls:[] Gate.h);
       ("h q4", Mat_dd.of_single p ~n ~target:4 ~controls:[] Gate.h);
@@ -155,10 +154,11 @@ let test_mac_count_known_values () =
   let p = Dd.create () in
   (* Identity: 2^n non-zero entries. H on one qubit: 2^{n+1}. *)
   Alcotest.(check (float 0.0)) "identity" (float_of_int (1 lsl n))
-    (Cost.mac_count (Mat_dd.identity p n));
+    (Cost.mac_count p (Mat_dd.identity p n));
   Alcotest.(check (float 0.0)) "hadamard" (float_of_int (1 lsl (n + 1)))
-    (Cost.mac_count (Mat_dd.of_single p ~n ~target:3 ~controls:[] Gate.h));
-  Alcotest.(check (float 0.0)) "zero edge" 0.0 (Cost.mac_count Dd.mzero)
+    (Cost.mac_count p (Mat_dd.of_single p ~n ~target:3 ~controls:[] Gate.h));
+  let p2 = Dd.create () in
+  Alcotest.(check (float 0.0)) "zero edge" 0.0 (Cost.mac_count p2 Dd.mzero)
 
 let test_pow2_threads () =
   Alcotest.(check int) "4 stays" 4 (Cost.pow2_threads ~n:10 4);
@@ -183,7 +183,7 @@ let test_breakdown_consistency () =
   let n = 8 in
   let p = Dd.create () in
   let m = Mat_dd.of_single p ~n ~target:(n - 1) ~controls:[] Gate.h in
-  let b = Cost.breakdown ~n ~threads:4 m in
+  let b = Cost.breakdown p ~n ~threads:4 m in
   Alcotest.(check bool) "k2 <= k1" true (b.Cost.k2 <= b.Cost.k1);
   Alcotest.(check bool) "hits positive for H top" true (b.Cost.hits > 0);
   Alcotest.(check bool) "buffers >= 1" true (b.Cost.buffers >= 1);
@@ -191,7 +191,7 @@ let test_breakdown_consistency () =
   let v = Test_util.random_state ~seed:41 n in
   Pool.with_pool 4 (fun pool ->
       let w = Buf.create (1 lsl n) in
-      let hits, buffers = Dmav.apply_cache ~pool ~n m ~v ~w in
+      let hits, buffers = Dmav.apply_cache p ~pool ~n m ~v ~w in
       Alcotest.(check int) "modeled H = realized hits" b.Cost.hits hits;
       Alcotest.(check int) "modeled b = realized buffers" b.Cost.buffers buffers)
 
@@ -201,7 +201,7 @@ let test_decision_prefers_cache_when_repetitive () =
   let n = 12 in
   let p = Dd.create () in
   let m = Mat_dd.of_single p ~n ~target:(n - 1) ~controls:[] Gate.h in
-  let d = Cost.decide ~n ~threads:4 ~simd_width:4 m in
+  let d = Cost.decide p ~n ~threads:4 ~simd_width:4 m in
   Alcotest.(check bool) "cached cheaper for repetitive gate" true d.Cost.cached;
   (* A bottom-qubit controlled gate has little repetition at the border
      level: uncached should win (or at least cached must not be absurd). *)
@@ -214,9 +214,9 @@ let test_decision_single_thread () =
   let n = 8 in
   let p = Dd.create () in
   let m = Mat_dd.of_single p ~n ~target:0 ~controls:[] (Gate.rz 0.3) in
-  let d = Cost.decide ~n ~threads:1 ~simd_width:4 m in
+  let d = Cost.decide p ~n ~threads:1 ~simd_width:4 m in
   Alcotest.(check int) "one thread used" 1 d.Cost.threads_used;
-  Alcotest.(check bool) "c1 = K1" true (Float.abs (d.Cost.c1 -. Cost.mac_count m) < 1e-9)
+  Alcotest.(check bool) "c1 = K1" true (Float.abs (d.Cost.c1 -. Cost.mac_count p m) < 1e-9)
 
 let suite =
   [ ( "dmav",

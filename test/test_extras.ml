@@ -9,7 +9,7 @@
 let test_dd_sampling_matches_probabilities () =
   let c = Test_util.random_circuit ~seed:3 ~gates:30 6 in
   let r = Ddsim.run c in
-  let sampler = Vec_sample.create 6 r.Ddsim.state in
+  let sampler = Vec_sample.create r.Ddsim.package 6 r.Ddsim.state in
   let st = State.of_buf 6 (Ddsim.final_amplitudes r 6) in
   (* Exact per-index probabilities agree with the flat state. *)
   for i = 0 to 63 do
@@ -30,7 +30,7 @@ let test_dd_sampling_matches_probabilities () =
 
 let test_dd_sampling_ghz () =
   let r = Ddsim.run (Ghz.circuit 10) in
-  let sampler = Vec_sample.create 10 r.Ddsim.state in
+  let sampler = Vec_sample.create r.Ddsim.package 10 r.Ddsim.state in
   let rng = Rng.create 5 in
   for _ = 1 to 200 do
     let s = Vec_sample.sample sampler rng in
@@ -39,7 +39,7 @@ let test_dd_sampling_ghz () =
 
 let test_dd_sampler_rejects_zero () =
   Alcotest.(check bool) "zero vector rejected" true
-    (try ignore (Vec_sample.create 3 Dd.vzero); false
+    (try ignore (Vec_sample.create (Dd.create ()) 3 Dd.vzero); false
      with Invalid_argument _ -> true)
 
 let test_dd_dot () =
@@ -52,20 +52,20 @@ let test_dd_dot () =
   for i = 0 to 31 do
     expect := Cnum.add !expect (Cnum.mul (Cnum.conj (Buf.get fa i)) (Buf.get fb i))
   done;
-  let got = Vec_sample.dot a b in
+  let got = Vec_sample.dot p a b in
   if not (Cnum.equal ~tol:1e-9 !expect got) then
     Alcotest.failf "dot: %s vs %s" (Cnum.to_string !expect) (Cnum.to_string got);
   (* Self-overlap of a unit state is 1. *)
-  Alcotest.(check (float 1e-9)) "self fidelity" 1.0 (Vec_sample.fidelity a a);
+  Alcotest.(check (float 1e-9)) "self fidelity" 1.0 (Vec_sample.fidelity p a a);
   (* Orthogonal basis states. *)
   let e0 = Vec_dd.basis_state p 4 3 and e1 = Vec_dd.basis_state p 4 5 in
-  Alcotest.(check (float 0.0)) "orthogonal" 0.0 (Vec_sample.fidelity e0 e1)
+  Alcotest.(check (float 0.0)) "orthogonal" 0.0 (Vec_sample.fidelity p e0 e1)
 
 let test_dd_dot_matches_buf_fidelity () =
   let p = Dd.create () in
   let b1 = Test_util.random_state ~seed:21 6 and b2 = Test_util.random_state ~seed:22 6 in
   let f_flat = Buf.fidelity b1 b2 in
-  let f_dd = Vec_sample.fidelity (Vec_dd.of_buf p b1) (Vec_dd.of_buf p b2) in
+  let f_dd = Vec_sample.fidelity p (Vec_dd.of_buf p b1) (Vec_dd.of_buf p b2) in
   Alcotest.(check (float 1e-9)) "fidelity agreement" f_flat f_dd
 
 (* ------------------------------------------------------------------ *)
@@ -79,7 +79,7 @@ let test_dd_project () =
   let p = r.Ddsim.package in
   let q = 2 in
   let proj = Vec_sample.project p r.Ddsim.state q 1 in
-  let flat = Convert.sequential ~n proj in
+  let flat = Convert.sequential p ~n proj in
   let reference = Ddsim.final_amplitudes r n in
   for i = 0 to (1 lsl n) - 1 do
     let expect = if Bits.bit i q = 1 then Buf.get reference i else Cnum.zero in
@@ -95,11 +95,11 @@ let test_dd_measure_collapse_ghz () =
     let rng = Rng.create seed in
     let outcome, collapsed = Vec_sample.measure_qubit p ~rng ~n:8 r.Ddsim.state 3 in
     Alcotest.(check (float 1e-9)) "collapsed state normalized" 1.0
-      (Vec_dd.norm2 collapsed);
+      (Vec_dd.norm2 p collapsed);
     let expected_basis = if outcome = 1 then 255 else 0 in
-    let amp = Dd.vamplitude collapsed expected_basis in
+    let amp = Dd.vamplitude p collapsed expected_basis in
     Alcotest.(check (float 1e-9)) "fully collapsed" 1.0 (Cnum.norm2 amp);
-    Alcotest.(check int) "post-measurement DD is a chain" 8 (Dd.vnode_count collapsed)
+    Alcotest.(check int) "post-measurement DD is a chain" 8 (Dd.vnode_count p collapsed)
   done
 
 let test_dd_measure_matches_flat_semantics () =
@@ -110,7 +110,7 @@ let test_dd_measure_matches_flat_semantics () =
   let p = r.Ddsim.package in
   let q = 1 in
   let outcome, collapsed = Vec_sample.measure_qubit p ~rng:(Rng.create 3) ~n r.Ddsim.state q in
-  let flat_dd = Convert.sequential ~n collapsed in
+  let flat_dd = Convert.sequential p ~n collapsed in
   (* Flat reference: project and renormalize by hand. *)
   let reference = Ddsim.final_amplitudes r n in
   let st = State.of_buf n reference in
@@ -154,7 +154,7 @@ let prop_dd_measurement_idempotent =
        let p = r.Ddsim.package in
        let o1, collapsed = Vec_sample.measure_qubit p ~rng:(Rng.create seed) ~n r.Ddsim.state q in
        let o2, again = Vec_sample.measure_qubit p ~rng:(Rng.create (seed + 1)) ~n collapsed q in
-       o1 = o2 && Float.abs (Vec_sample.fidelity collapsed again -. 1.0) < 1e-9)
+       o1 = o2 && Float.abs (Vec_sample.fidelity p collapsed again -. 1.0) < 1e-9)
 
 let prop_dd_projectors_complete =
   QCheck.Test.make ~name:"P0 + P1 restores the state; P0·P1 = 0" ~count:25
@@ -169,11 +169,11 @@ let prop_dd_projectors_complete =
        let sum = Dd.vadd p p0 p1 in
        let restored =
          Dd.vedge_is_zero p0 || Dd.vedge_is_zero p1
-         || Float.abs (Vec_sample.fidelity sum r.Ddsim.state -. 1.0) < 1e-9
+         || Float.abs (Vec_sample.fidelity p sum r.Ddsim.state -. 1.0) < 1e-9
        in
        let orthogonal =
          Dd.vedge_is_zero p0 || Dd.vedge_is_zero p1
-         || Cnum.norm (Vec_sample.dot p0 p1) < 1e-9
+         || Cnum.norm (Vec_sample.dot p p0 p1) < 1e-9
        in
        restored && orthogonal)
 

@@ -117,6 +117,31 @@ let test_printf_in_lib () =
     "let f () = print_endline \"x\"\n";
   check_clean "stderr is fine" "let f () = prerr_endline \"x\"\n"
 
+let test_node_alloc_outside_arena () =
+  check_flagged "Node_store call outside lib/dd" ~path:"lib/engine/fixture.ml"
+    ~rule:"node-alloc-outside-arena"
+    "let f a = Node_store.alloc2 a ~level:1 0 0\n";
+  check_flagged "even a Node_store read is a layering leak"
+    ~path:"lib/fusion/fixture.ml" ~rule:"node-alloc-outside-arena"
+    "let f a = Node_store.capacity a\n";
+  check_flagged "raw edge packing, shift on the left" ~path:"bench/fixture.ml"
+    ~rule:"node-alloc-outside-arena" "let f w t = (w lsl 31) lor t\n";
+  check_flagged "raw edge packing, shift on the right" ~path:"bench/fixture.ml"
+    ~rule:"node-alloc-outside-arena" "let f w t = t lor (w lsl 31)\n";
+  check_flagged "packing via tgt_bits" ~path:"lib/convert/fixture.ml"
+    ~rule:"node-alloc-outside-arena"
+    "let f w t = (w lsl Node_store.tgt_bits) lor t\n";
+  check_clean "lib/dd owns the arena" ~path:"lib/dd/fixture.ml"
+    "let f a = Node_store.alloc2 a ~level:1 0 0\n";
+  check_clean "Dd API construction is the sanctioned path"
+    ~path:"lib/engine/fixture.ml" "let f p e = Dd.make_vnode p 0 e Dd.vzero\n";
+  check_clean "other shift amounts are fine" ~path:"lib/util/fixture.ml"
+    "let f h x = (h lsl 5) lor x\n";
+  check_clean "suppressed"
+    ~path:"lib/engine/fixture.ml"
+    "(* qcs-lint: allow node-alloc-outside-arena *)\n\
+     let f w t = (w lsl 31) lor t\n"
+
 let test_todo_marker () =
   let fs = lint ("let x = 1 (* " ^ todo_word ^ ": later *)\n") in
   Alcotest.(check bool) "marker flagged" true (List.mem "todo-marker" (rules_of fs));
@@ -195,6 +220,8 @@ let suite =
         Alcotest.test_case "mutex-discipline" `Quick test_mutex_discipline;
         Alcotest.test_case "naked-hashtbl-in-parallel" `Quick test_naked_hashtbl;
         Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
+        Alcotest.test_case "node-alloc-outside-arena" `Quick
+          test_node_alloc_outside_arena;
         Alcotest.test_case "todo-marker" `Quick test_todo_marker;
         Alcotest.test_case "allow-all suppression" `Quick test_suppress_all;
         Alcotest.test_case "allowlist prefixes" `Quick test_allowlist;

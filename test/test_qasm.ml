@@ -70,7 +70,7 @@ let test_expressions () =
   let ok = ref true in
   for r = 0 to 1 do
     for c = 0 to 1 do
-      if not (Cnum.equal ~tol:1e-9 (Dd.mentry m1 r c) (Dd.mentry m2 r c)) then ok := false
+      if not (Cnum.equal ~tol:1e-9 (Dd.mentry pkg m1 r c) (Dd.mentry pkg m2 r c)) then ok := false
     done
   done;
   Alcotest.(check bool) "expression arithmetic" true !ok
