@@ -26,14 +26,16 @@ let summarize results =
     (List.length results) (count "completed") (count "failed") (count "timed_out")
     (count "cancelled")
 
-let run manifest slots threads seed out no_timings strict verbose metrics metrics_json =
+let run manifest slots threads seed out no_timings strict verbose metrics metrics_json
+    dd_domains =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
       Obs.set_enabled true;
       Obs.Metrics.reset ()
     end;
-    let resolved = Manifest.load ~base_seed:seed manifest in
+    let default_config = { Config.default with Config.dd_domains } in
+    let resolved = Manifest.load ~default_config ~base_seed:seed manifest in
     if resolved = [] then begin
       Printf.eprintf "error: manifest %s contains no jobs\n" manifest;
       raise Exit
@@ -120,9 +122,15 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Enable the instrumentation layer and write the snapshot as JSON to $(docv).")
   in
+  let dd_domains =
+    Arg.(value & opt int 1
+         & info [ "dd-domains" ]
+             ~doc:"Default DD-phase domain count for every job (a job's own \
+                   $(i,dd_domains) manifest field overrides it).")
+  in
   let term =
     Term.(const run $ manifest $ slots $ threads $ seed $ out $ no_timings $ strict
-          $ verbose $ metrics $ metrics_json)
+          $ verbose $ metrics $ metrics_json $ dd_domains)
   in
   Cmd.v
     (Cmd.info "flatdd_batch"

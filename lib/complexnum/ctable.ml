@@ -1,10 +1,33 @@
 type entry = { value : Cnum.t; id : int }
 
+exception Need_grow
+
 (* Buckets are keyed by an integer mixing the two grid-cell coordinates
    (cell = floor(coord / tolerance)). Values within tolerance land in the
    same or an adjacent cell, so a full search probes the 3×3 neighborhood;
    the common case — the value was interned before at (almost) exactly the
-   same spot — is served by probing the value's own cell first. *)
+   same spot — is served by probing the value's own cell first.
+
+   The bucket store is partitioned into [nstripes] stripes by COARSE grid
+   cell (cell >> 2), each with its own table and lock, so a 3×3 cell
+   neighborhood touches at most 4 stripes (usually exactly 1). In
+   concurrent mode (a DD parallel section is in flight) a lookup locks the
+   neighborhood's stripes in ascending index order, probes, and inserts on
+   a miss. Canonicity across domains follows from the grid geometry: two
+   values within tolerance sit in adjacent cells, so each one's
+   neighborhood covers the other's own cell — both interns lock both
+   own-cell stripes, the critical sections exclude each other, and the
+   loser's probe (run only once every lock is held) finds the winner's
+   representative.
+
+   Ids are handed out in per-stripe blocks carved from one atomic cursor,
+   so the dense reverse maps are written without any global lock: distinct
+   ids never collide, and the block handoff happens under the stripe lock
+   that also guards the bucket insert. The dense arrays are never replaced
+   while a parallel section is in flight — an insert that runs past their
+   capacity raises [Need_grow] for the (quiesced) caller to grow via
+   [ensure_headroom] and retry, exactly the arena-growth protocol the DD
+   layer already speaks. *)
 
 module Itbl = Hashtbl.Make (struct
     type t = int
@@ -13,18 +36,43 @@ module Itbl = Hashtbl.Make (struct
     let hash x = (x * 0x9E3779B1) land max_int
   end)
 
+let nstripes = 64
+let block_size = 256
+
+type stripe = {
+  s_lock : Mutex.t;
+  s_buckets : entry list ref Itbl.t;
+  (* Current id block, [s_block, s_block_end). Mutated under [s_lock] in
+     concurrent mode; refilled from [next_id]. *)
+  mutable s_block : int;
+  mutable s_block_end : int;
+}
+
 type t = {
   tolerance : float;
   inv_tolerance : float;
-  buckets : entry list ref Itbl.t;
-  mutable next_id : int;
-  mutable count : int;
+  stripes : stripe array;
+  (* Guards dense-array growth (sequential / quiesced only). *)
+  dense_lock : Mutex.t;
+  (* Set (at a quiesce point) while a DD parallel section may intern from
+     several domains. Off, every path is lock-free and identical to the
+     single-threaded table. *)
+  mutable concurrent : bool;
+  (* Set while worker domains are actually in flight (between the DD
+     layer's enter/exit of a parallel section). Only then must a
+     capacity miss surface as [Need_grow] — outside a section the
+     orchestrating domain is alone and growth in place is safe. *)
+  mutable in_section : bool;
+  (* Id high-water cursor; block-granular, so [count] (the number of live
+     entries) lags it by the stripes' unconsumed block tails. *)
+  next_id : int Atomic.t;
+  count : int Atomic.t;
   (* Dense id -> value reverse maps, the flat companion of the bucket
      store. [values] holds the physically identical record the bucket
      entry does (so [canon] and [value_of_id] agree up to [==]); the
      unboxed [re]/[im] planes let flat kernels read a weight by id
-     without touching a boxed complex. Grown by doubling; [next_id]
-     is the live prefix. *)
+     without touching a boxed complex. Grown by doubling at quiesce
+     points; [next_id] bounds the live prefix. *)
   mutable values : Cnum.t array;
   mutable re : float array;
   mutable im : float array;
@@ -49,6 +97,10 @@ let cell t v = int_of_float (Float.floor (v *. t.inv_tolerance))
    entries are verified with a tolerance comparison. *)
 let key cr ci = (cr * 0x1fffffefd) lxor ci
 
+let stripe_of_cell cr ci =
+  let h = ((cr asr 2) * 0x9E3779B1) lxor ((ci asr 2) * 0x85EBCA77) in
+  (h lsr 17) land (nstripes - 1)
+
 let grow_dense t =
   let cap = Array.length t.values in
   let cap' = 2 * cap in
@@ -62,38 +114,83 @@ let grow_dense t =
   Array.blit t.im 0 im 0 cap;
   t.im <- im
 
+(* Next id for an insert whose own cell lives in stripe [s]; the caller
+   holds [s.s_lock] in concurrent mode. *)
+let alloc_id t s =
+  if s.s_block >= s.s_block_end then begin
+    let b = Atomic.fetch_and_add t.next_id block_size in
+    s.s_block <- b;
+    s.s_block_end <- b + block_size
+  end;
+  let id = s.s_block in
+  s.s_block <- id + 1;
+  id
+
+(* Caller holds the stripe lock of the value's own cell in concurrent
+   mode (the id block and the bucket insert both live in that stripe). *)
 let add_entry t (value : Cnum.t) =
-  let e = { value; id = t.next_id } in
-  t.next_id <- t.next_id + 1;
-  t.count <- t.count + 1;
-  if t.next_id > Array.length t.values then grow_dense t;
-  t.values.(e.id) <- value;
-  t.re.(e.id) <- value.Cnum.re;
-  t.im.(e.id) <- value.Cnum.im;
-  let k = key (cell t value.Cnum.re) (cell t value.Cnum.im) in
-  (match Itbl.find_opt t.buckets k with
+  let cr = cell t value.Cnum.re and ci = cell t value.Cnum.im in
+  let s = t.stripes.(stripe_of_cell cr ci) in
+  let id = alloc_id t s in
+  if id >= Array.length t.values then begin
+    if t.in_section then raise Need_grow;
+    Mutex.lock t.dense_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.dense_lock)
+      (fun () ->
+         while id >= Array.length t.values do
+           grow_dense t
+         done)
+  end;
+  t.values.(id) <- value;
+  t.re.(id) <- value.Cnum.re;
+  t.im.(id) <- value.Cnum.im;
+  ignore (Atomic.fetch_and_add t.count 1);
+  let e = { value; id } in
+  (match Itbl.find_opt s.s_buckets (key cr ci) with
    | Some l ->
      Obs.incr c_collisions;
      l := e :: !l
-   | None -> Itbl.add t.buckets k (ref [ e ]));
+   | None -> Itbl.add s.s_buckets (key cr ci) (ref [ e ]));
   if Obs.enabled () then begin
     Obs.incr c_inserts;
-    Obs.set_gauge g_entries t.count
+    Obs.set_gauge g_entries (Atomic.get t.count)
   end;
   e
 
+(* The zero/one seeds must land on ids 0 and 1 (the packed-edge encoding
+   builds on [zero_id] = 0), so they bypass the block allocator. *)
+let raw_insert t (value : Cnum.t) id =
+  t.values.(id) <- value;
+  t.re.(id) <- value.Cnum.re;
+  t.im.(id) <- value.Cnum.im;
+  ignore (Atomic.fetch_and_add t.count 1);
+  let cr = cell t value.Cnum.re and ci = cell t value.Cnum.im in
+  let s = t.stripes.(stripe_of_cell cr ci) in
+  (match Itbl.find_opt s.s_buckets (key cr ci) with
+   | Some l -> l := { value; id } :: !l
+   | None -> Itbl.add s.s_buckets (key cr ci) (ref [ { value; id } ]))
+
 let seed t =
-  let z = add_entry t Cnum.zero in
-  let o = add_entry t Cnum.one in
-  assert (z.id = zero_id && o.id = one_id)
+  raw_insert t Cnum.zero zero_id;
+  raw_insert t Cnum.one one_id;
+  Atomic.set t.next_id 2
 
 let create ?(tolerance = Cnum.tolerance) () =
   let t =
     { tolerance;
       inv_tolerance = 1.0 /. tolerance;
-      buckets = Itbl.create (1 lsl 16);
-      next_id = 0;
-      count = 0;
+      stripes =
+        Array.init nstripes (fun _ ->
+            { s_lock = Mutex.create ();
+              s_buckets = Itbl.create (1 lsl 10);
+              s_block = 0;
+              s_block_end = 0 });
+      dense_lock = Mutex.create ();
+      concurrent = false;
+      in_section = false;
+      next_id = Atomic.make 0;
+      count = Atomic.make 0;
       values = Array.make (1 lsl 10) Cnum.zero;
       re = Array.make (1 lsl 10) 0.0;
       im = Array.make (1 lsl 10) 0.0 }
@@ -111,7 +208,7 @@ let rec scan tol (c : Cnum.t) = function
     else scan tol c rest
 
 let probe t cr ci (c : Cnum.t) =
-  match Itbl.find_opt t.buckets (key cr ci) with
+  match Itbl.find_opt t.stripes.(stripe_of_cell cr ci).s_buckets (key cr ci) with
   | None -> None
   | Some l -> scan t.tolerance c !l
 
@@ -135,7 +232,7 @@ let find_near t (c : Cnum.t) =
     done;
     !found
 
-let lookup t c =
+let lookup_unlocked t c =
   Obs.incr c_lookups;
   match find_near t c with
   | Some e ->
@@ -143,21 +240,94 @@ let lookup t c =
     e
   | None -> add_entry t c
 
+(* Concurrent lookup: lock the (≤ 4, usually 1) stripes the 3×3
+   neighborhood touches in ascending index order — every acquisition
+   sequence is sorted, so no deadlock — then probe and insert on a miss. *)
+let lookup_concurrent t (c : Cnum.t) =
+  Obs.incr c_lookups;
+  let cr = cell t c.Cnum.re and ci = cell t c.Cnum.im in
+  (* Distinct stripes of the neighborhood's ≤ 4 coarse cells, sorted.
+     Insertion-sort into a fixed 4-slot buffer. *)
+  let ids = [| max_int; max_int; max_int; max_int |] in
+  let nids = ref 0 in
+  for dr = -1 to 1 do
+    for di = -1 to 1 do
+      let s = stripe_of_cell (cr + dr) (ci + di) in
+      let j = ref 0 in
+      while !j < !nids && ids.(!j) < s do incr j done;
+      if !j >= !nids || ids.(!j) <> s then begin
+        for k = !nids downto !j + 1 do
+          ids.(k) <- ids.(k - 1)
+        done;
+        ids.(!j) <- s;
+        incr nids
+      end
+    done
+  done;
+  let n = !nids in
+  for j = 0 to n - 1 do
+    Mutex.lock t.stripes.(ids.(j)).s_lock
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+        for j = n - 1 downto 0 do
+          Mutex.unlock t.stripes.(ids.(j)).s_lock
+        done)
+    (fun () ->
+       match find_near t c with
+       | Some e ->
+         Obs.incr c_hits;
+         e
+       | None -> add_entry t c)
+
+let lookup t c = if t.concurrent then lookup_concurrent t c else lookup_unlocked t c
+
 let canon t c = (lookup t c).value
 let id t c = (lookup t c).id
-let count t = t.count
+let count t = Atomic.get t.count
 
+let set_concurrent t b =
+  t.concurrent <- b;
+  if not b then t.in_section <- false
+
+let enter_section t = t.in_section <- true
+let exit_section t = t.in_section <- false
+
+(* Quiesced only: grow the dense maps until they can absorb [slots] more
+   ids past the cursor (block-granular allocation can consume up to
+   [nstripes * block_size] ids of slack on top of real inserts). *)
+let ensure_headroom t ~slots =
+  Mutex.lock t.dense_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.dense_lock)
+    (fun () ->
+       while Array.length t.values < Atomic.get t.next_id + slots do
+         grow_dense t
+       done)
+
+(* The table is append-only (ids are never reassigned outside [clear]),
+   so a reader holding a legitimately obtained id always finds it below
+   [next_id]: the id reached the reader through a happens-before edge
+   (a stripe mutex or a pool join) that also made its dense writes
+   visible. The dense arrays are only replaced at quiesce points, never
+   while a parallel section could be reading. *)
 let value_of_id t i =
-  if i < 0 || i >= t.next_id then invalid_arg "Ctable.value_of_id";
+  if i < 0 || i >= Atomic.get t.next_id then invalid_arg "Ctable.value_of_id";
   t.values.(i)
 
 let re_array t = t.re
 let im_array t = t.im
 
+(* Quiesced only (single-domain). *)
 let clear t =
-  Itbl.reset t.buckets;
-  t.next_id <- 0;
-  t.count <- 0;
+  Array.iter
+    (fun s ->
+       Itbl.reset s.s_buckets;
+       s.s_block <- 0;
+       s.s_block_end <- 0)
+    t.stripes;
+  Atomic.set t.next_id 0;
+  Atomic.set t.count 0;
   seed t
 
 (* Dense reverse arrays are exact (capacity × slot size); the bucket side
@@ -167,4 +337,4 @@ let memory_bytes t =
   (Array.length t.values * 8)          (* values: one pointer word per slot *)
   + (Array.length t.re * 8)
   + (Array.length t.im * 8)
-  + (t.count * 8 * 10)
+  + (Atomic.get t.count * 8 * 10)

@@ -18,6 +18,8 @@ type t = {
   compact_every : int;
   trace : bool;
   dense_dispatch : bool;
+  dd_domains : int;
+  dd_task_depth : int;
 }
 
 let default =
@@ -29,6 +31,9 @@ let default =
     policy = Ewma_policy;
     compact_every = 64;
     trace = false;
-    dense_dispatch = false }
+    dense_dispatch = false;
+    dd_domains = 1;
+    dd_task_depth = 0 }
 
 let with_threads threads t = { t with threads }
+let with_dd_domains dd_domains t = { t with dd_domains }

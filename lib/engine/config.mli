@@ -24,10 +24,19 @@ type t = {
       route it to the dense direct-apply kernels ([Apply.single]/[Apply.two])
       instead of a DMAV multiplication. Off by default so the stock DMAV
       phase stays bit-for-bit reproducible. *)
+  dd_domains : int;
+  (** DD-phase domain count (≥ 1). When > 1 the DD engine shards its
+      unique/compute tables and applies each gate with {!Dd.mv_par} over a
+      dedicated pool of this many domains. 1 (the default) keeps the
+      sequential single-domain regime. *)
+  dd_task_depth : int;
+  (** Recursion depth at which the parallel DD apply splits into tasks.
+      0 (the default) picks automatically from [dd_domains]. *)
 }
 
 val default : t
 (** 1 thread, β = 0.9, ε = 2.0, d = 4, no fusion, EWMA policy,
-    compaction every 64 gates, no trace, no dense dispatch. *)
+    compaction every 64 gates, no trace, no dense dispatch, 1 DD domain. *)
 
 val with_threads : int -> t -> t
+val with_dd_domains : int -> t -> t

@@ -43,7 +43,8 @@ let float_field ~where kvs name =
 
 let known_fields =
   [ "id"; "circuit"; "qasm"; "n"; "gates"; "seed"; "priority"; "deadline_s";
-    "max_retries"; "beta"; "epsilon"; "compact_every"; "fusion"; "policy" ]
+    "max_retries"; "beta"; "epsilon"; "compact_every"; "fusion"; "policy";
+    "dd_domains" ]
 
 let parse_line ?(default_config = Config.default) ?(base_seed = 1) ?(dir = ".")
     ~index line =
@@ -128,6 +129,12 @@ let parse_line ?(default_config = Config.default) ?(base_seed = 1) ?(dir = ".")
       | Some (Jnum s) when int_of_string_opt s <> None ->
         { cfg with Config.policy = Config.Convert_at (int_of_string s) }
       | Some _ -> failf "%s: policy is \"ewma\" | \"never\" | convert-at gate index" where
+    in
+    let cfg =
+      match int_field ~where kvs "dd_domains" with
+      | Some d when d >= 1 -> { cfg with Config.dd_domains = d }
+      | Some d -> failf "%s: dd_domains must be >= 1 (got %d)" where d
+      | None -> cfg
     in
     cfg
   in

@@ -1,0 +1,323 @@
+(* Parallel DD phase: the differential + race battery.
+
+   Three layers of defense around [Dd.mv_par] and the sharded tables:
+
+   - a 50-seed differential sweep asserting the parallel engine's final
+     amplitudes are BYTE-identical (Int64.bits_of_float, not a tolerance)
+     to the sequential run at 2, 4 and 8 domains, with a GC-every-gate
+     variant — canonicity of the sharded unique/weight tables is exactly
+     the property that makes this hold;
+   - race-injection tests: the test hook that bypasses a stripe lock (and
+     widens the probe→publish window) must be caught by FLATDD_CHECK's
+     hold/release bracket, while the fixed path under the same load stays
+     silent and deduplicates perfectly;
+   - a QCheck property over random alloc/compact interleavings across
+     domain segments: slots are conserved (live + free = high-water),
+     nothing is double-allocated, and the memory accounting never tears. *)
+
+let seeds = List.init 50 (fun i -> i + 1)
+let qubits_for seed = 3 + (seed mod 4)
+
+let circuit_for seed =
+  Test_util.random_circuit ~seed ~gates:30 (qubits_for seed)
+
+(* ------------------------------------------------------------------ *)
+(* Differential battery                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_bits_equal msg (a : Buf.t) (b : Buf.t) =
+  Alcotest.(check int) (msg ^ ": length") (Buf.length a) (Buf.length b);
+  let da = a.Buf.data and db = b.Buf.data in
+  Array.iteri
+    (fun i x ->
+       if Int64.bits_of_float x <> Int64.bits_of_float db.(i) then
+         Alcotest.failf "%s: float %d differs: %h vs %h" msg i x db.(i))
+    da
+
+let amps ?compact_every ?domains seed =
+  let n = qubits_for seed in
+  let r = Ddsim.run ?compact_every ?domains (circuit_for seed) in
+  Ddsim.final_amplitudes r n
+
+let test_domain_sweep () =
+  List.iter
+    (fun seed ->
+       let base = amps seed in
+       List.iter
+         (fun domains ->
+            check_bits_equal
+              (Printf.sprintf "seed %d: %d domains vs sequential" seed domains)
+              base
+              (amps ~domains seed))
+         (if seed mod 7 = 0 then [ 2; 4; 8 ] else [ 2; 4 ]))
+    seeds
+
+let test_domain_sweep_gc_every_gate () =
+  (* Compacting after every gate interleaves reclamation (and the slot
+     renumbering it implies) with the sharded allocation paths as densely
+     as possible; amplitudes must still match bit-for-bit. *)
+  List.iter
+    (fun seed ->
+       check_bits_equal
+         (Printf.sprintf "seed %d: 4 domains + compact-every-gate" seed)
+         (amps ~compact_every:1 seed)
+         (amps ~compact_every:1 ~domains:4 seed))
+    (List.filter (fun s -> s mod 5 = 0) seeds)
+
+let test_pinned_depth_matches_auto () =
+  (* The task-split cutoff is a performance knob, never a semantic one. *)
+  let seed = 13 in
+  let n = qubits_for seed in
+  let c = circuit_for seed in
+  let base = Ddsim.final_amplitudes (Ddsim.run c) n in
+  List.iter
+    (fun task_depth ->
+       check_bits_equal
+         (Printf.sprintf "task depth %d" task_depth)
+         base
+         (Ddsim.final_amplitudes (Ddsim.run ~domains:3 ~task_depth c) n))
+    [ 1; 2; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Race injection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the real intern path from two domains colliding on the same
+   fresh (level, children) keys. A per-iteration turnstile lines the two
+   domains up so each insert's probe→publish window overlaps the other
+   domain's attempt at the very same stripe. *)
+let stripe_stress ~bypass ~spins ~iters p =
+  Dd.Testing.ensure_headroom p ~slots:((2 * iters) + 1024);
+  let edges =
+    Array.init (iters + 1) (fun i ->
+        Dd.vterm_edge p (Cnum.make (0.001 +. (0.001 *. float_of_int i)) 0.0))
+  in
+  Dd.Testing.set_bypass_stripe_lock bypass;
+  Dd.Testing.set_race_spins spins;
+  Dd.Testing.enter_parallel p;
+  let arrived = Atomic.make 0 in
+  let out = Array.make 2 [||] in
+  let worker dom =
+    let mine = Array.make iters Dd.vzero in
+    for i = 0 to iters - 1 do
+      (* Turnstile: wait for both domains to reach iteration i. *)
+      Atomic.incr arrived;
+      while Atomic.get arrived < 2 * (i + 1) do
+        Domain.cpu_relax ()
+      done;
+      mine.(i) <- Dd.Testing.intern_vnode p ~dom 0 edges.(i) edges.(i + 1)
+    done;
+    out.(dom) <- mine
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Dd.Testing.exit_parallel p;
+        Dd.Testing.set_race_spins 0;
+        Dd.Testing.set_bypass_stripe_lock false)
+    (fun () ->
+       let d1 = Domain.spawn (fun () -> worker 1) in
+       worker 0;
+       Domain.join d1);
+  Dd.quiesce p;
+  out
+
+let with_count_mode f =
+  let prev = Check.mode () in
+  Check.set_mode Check.Count;
+  Check.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+        Check.set_mode prev;
+        Check.reset ())
+    f
+
+let test_seeded_race_detected () =
+  with_count_mode (fun () ->
+      (* The widened window plus the bypassed lock make the two domains
+         overlap inside the same stripe's hold/release bracket. The
+         interleaving is OS-scheduled, so allow a few rounds — but on the
+         fixed path (next test) even one round must stay silent. *)
+      let detected = ref false in
+      let rounds = ref 0 in
+      while (not !detected) && !rounds < 5 do
+        incr rounds;
+        let p = Dd.create () in
+        Dd.enable_parallel p ~domains:2;
+        ignore (stripe_stress ~bypass:true ~spins:200_000 ~iters:150 p);
+        if Check.races () > 0 then detected := true
+      done;
+      if not !detected then
+        Alcotest.failf
+          "bypassed stripe lock produced no detectable race in %d rounds"
+          !rounds)
+
+let test_fixed_path_silent_and_canonical () =
+  with_count_mode (fun () ->
+      let p = Dd.create () in
+      Dd.enable_parallel p ~domains:2;
+      let out = stripe_stress ~bypass:false ~spins:200_000 ~iters:150 p in
+      Alcotest.(check int) "no races on the locked path" 0 (Check.races ());
+      (* Both domains interned the same keys: they must have received the
+         SAME canonical node for every one (no double-publish). *)
+      Array.iteri
+        (fun i e ->
+           if e <> out.(1).(i) then
+             Alcotest.failf "key %d: domain 0 got node %d, domain 1 got %d" i
+               (Dd.vid (Dd.vtgt e))
+               (Dd.vid (Dd.vtgt out.(1).(i))))
+        out.(0);
+      Alcotest.(check int) "one live node per distinct key" 150
+        (Dd.live_vnodes p))
+
+let test_contention_dedup_deterministic () =
+  (* No turnstile, no injected window: two domains hammer the same key
+     stream flat out. Whatever the interleaving, the unique table must
+     hand both the identical node ids and count each key once. *)
+  let p = Dd.create () in
+  Dd.enable_parallel p ~domains:2;
+  let iters = 2_000 in
+  let out = stripe_stress ~bypass:false ~spins:0 ~iters p in
+  Array.iteri
+    (fun i e ->
+       if e <> out.(1).(i) then
+         Alcotest.failf "key %d: divergent canonical nodes" i)
+    out.(0);
+  Alcotest.(check int) "live nodes = distinct keys" iters (Dd.live_vnodes p);
+  (* Conservation survives the contended section. *)
+  Alcotest.(check int) "live + free = high-water"
+    (Dd.Testing.varena_high_water p)
+    (Dd.live_vnodes p + Dd.vfree_slots p)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck property: alloc/compact interleavings conserve the arena      *)
+(* ------------------------------------------------------------------ *)
+
+(* A script is a list of (op, arg) pairs: op < 4 allocates a small chain
+   of fresh vnodes attributed to domain [op], op = 4 compacts keeping a
+   prefix of the root set. The driver checks, after every step, that
+   slots are conserved, duplicates intern to the same node, and the
+   memory accounting agrees with itself and bounds the live count. *)
+
+let gen_script =
+  QCheck.(list_of_size (Gen.int_range 5 40) (pair (int_bound 4) (int_bound 9)))
+
+let check_invariants p ~where =
+  let live = Dd.live_vnodes p
+  and free = Dd.vfree_slots p
+  and hw = Dd.Testing.varena_high_water p in
+  if live + free <> hw then
+    QCheck.Test.fail_reportf "%s: live %d + free %d <> high-water %d" where
+      live free hw;
+  let m1 = Dd.memory_bytes p in
+  let m2 = Dd.memory_bytes p in
+  if m1 <> m2 then
+    QCheck.Test.fail_reportf "%s: memory_bytes tore: %d then %d" where m1 m2;
+  (* Every live node owns at least level (8B) + two children (16B) + a
+     mark byte inside the arena arrays the accounting charges. *)
+  if m1 < 25 * live then
+    QCheck.Test.fail_reportf "%s: memory_bytes %d below floor for %d live"
+      where m1 live
+
+let run_script script =
+  let p = Dd.create () in
+  Dd.enable_parallel p ~domains:4;
+  let roots = ref [] in
+  let stamp = ref 0 in
+  let alloc_chain dom arg =
+    (* A 3-node chain whose weights are salted by a global stamp, so
+       every batch interns fresh structure into [dom]'s segment. *)
+    let attempt () =
+      Dd.Testing.enter_parallel p;
+      Fun.protect
+        ~finally:(fun () -> Dd.Testing.exit_parallel p)
+        (fun () ->
+           incr stamp;
+           let w k =
+             Dd.vterm_edge p
+               (Cnum.make (0.001 *. float_of_int ((13 * !stamp) + k + arg)) 0.0)
+           in
+           let e0a = Dd.Testing.intern_vnode p ~dom 0 (w 0) (w 1) in
+           let e0b = Dd.Testing.intern_vnode p ~dom 0 (w 2) (w 0) in
+           let e2 = Dd.Testing.intern_vnode p ~dom 1 e0a e0b in
+           let e3 = Dd.Testing.intern_vnode p ~dom 2 e2 Dd.vzero in
+           (* Re-interning the same triple must not allocate again. *)
+           let e3' = Dd.Testing.intern_vnode p ~dom 2 e2 Dd.vzero in
+           if e3 <> e3' then
+             QCheck.Test.fail_reportf "double-allocated (%d, %d)"
+               (Dd.vid (Dd.vtgt e3))
+               (Dd.vid (Dd.vtgt e3'));
+           e3)
+    in
+    let rec with_retry n =
+      match attempt () with
+      | e -> e
+      | exception Dd.Testing.Arena_need_grow when n < 10 ->
+        Dd.Testing.ensure_headroom p ~slots:4096;
+        with_retry (n + 1)
+    in
+    roots := with_retry 0 :: !roots;
+    if List.length !roots > 6 then
+      roots := List.filteri (fun i _ -> i < 6) !roots
+  in
+  List.iter
+    (fun (op, arg) ->
+       (if op < 4 then alloc_chain op arg
+        else begin
+          Dd.quiesce p;
+          roots := List.filteri (fun i _ -> i < arg mod 4) !roots;
+          Dd.compact p ~vroots:!roots ~mroots:[]
+        end);
+       check_invariants p ~where:(Printf.sprintf "op %d/%d" op arg))
+    script;
+  (* Leak check: dropping every root and compacting must reclaim the
+     whole arena. *)
+  roots := [];
+  Dd.quiesce p;
+  Dd.compact p ~vroots:[] ~mroots:[];
+  if Dd.live_vnodes p <> 0 then
+    QCheck.Test.fail_reportf "leak: %d nodes live with no roots"
+      (Dd.live_vnodes p);
+  check_invariants p ~where:"final";
+  true
+
+let prop_alloc_compact_conservation =
+  QCheck.Test.make ~name:"alloc/compact across domain segments conserves slots"
+    ~count:40 gen_script run_script
+
+(* ------------------------------------------------------------------ *)
+(* Quiesce-point snapshots                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_post_run_snapshot_consistency () =
+  (* After a parallel run the package must read as a coherent sequential
+     snapshot: conservation holds, the stats string renders, and the
+     sequential conversion works — the driver relies on exactly this
+     hand-off at the DD → DMAV boundary. *)
+  let c = Test_util.random_circuit ~seed:21 ~gates:60 6 in
+  let r = Ddsim.run ~domains:4 ~compact_every:8 c in
+  let p = r.Ddsim.package in
+  Alcotest.(check int) "live + free = high-water"
+    (Dd.Testing.varena_high_water p)
+    (Dd.live_vnodes p + Dd.vfree_slots p);
+  Alcotest.(check bool) "stats renders" true (String.length (Dd.stats p) > 0);
+  let a = Ddsim.final_amplitudes r 6 in
+  let n2 = Buf.norm2 a in
+  Alcotest.(check bool) "normalized state" true (abs_float (n2 -. 1.0) < 1e-9)
+
+let suite =
+  [ ( "dd_par",
+      [ Alcotest.test_case "50-seed domain sweep is byte-identical" `Quick
+          test_domain_sweep;
+        Alcotest.test_case "domain sweep with GC every gate" `Quick
+          test_domain_sweep_gc_every_gate;
+        Alcotest.test_case "pinned task depth matches auto" `Quick
+          test_pinned_depth_matches_auto;
+        Alcotest.test_case "seeded stripe race is detected" `Quick
+          test_seeded_race_detected;
+        Alcotest.test_case "fixed path is silent and canonical" `Quick
+          test_fixed_path_silent_and_canonical;
+        Alcotest.test_case "contended dedup is deterministic" `Quick
+          test_contention_dedup_deterministic;
+        QCheck_alcotest.to_alcotest prop_alloc_compact_conservation;
+        Alcotest.test_case "post-run snapshot is coherent" `Quick
+          test_post_run_snapshot_consistency ] ) ]
