@@ -27,7 +27,8 @@ let experiments =
     ("ddpar", Exp_ddpar.run);
     ("dispatch", Exp_dispatch.run);
     ("obs", Exp_obs.run);
-    ("sched", Exp_sched.run) ]
+    ("sched", Exp_sched.run);
+    ("serve", Exp_serve.run) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -5,7 +5,17 @@
    schedules every job over one shared worker pool with [slots]
    concurrent runners, and emits a JSONL result stream in manifest order
    (deterministic for a fixed manifest) plus an optional qcs_obs metrics
-   snapshot. Progress streams to stderr as jobs resolve. *)
+   snapshot. Progress streams to stderr as jobs resolve.
+
+   SIGINT/SIGTERM interrupt the batch gracefully: running jobs resolve as
+   cancelled within one gate, the result stream is still written
+   atomically with whatever completed, and the exit status is 130.
+
+   With --connect SOCKET the jobs run in a flatdd_serve daemon instead of
+   in-process: the manifest is parsed locally (same ids, same derived
+   seeds), shipped over the socket, and the streamed result lines are
+   written in manifest order — byte-identical to a local run with the
+   same flags (use --no-timings for a fully deterministic stream). *)
 
 open Cmdliner
 
@@ -26,8 +36,42 @@ let summarize results =
     (List.length results) (count "completed") (count "failed") (count "timed_out")
     (count "cancelled")
 
+(* Run the batch in-process over one shared pool, interruptibly: a first
+   SIGINT/SIGTERM trips every job's cancel poll (one atomic store — the
+   only thing the handler does), the drain still returns every result,
+   and the stream is written as usual. *)
+let run_local ~verbose ~slots ~threads resolved =
+  Pool.with_pool threads (fun pool ->
+      let sched =
+        Sched.create ~on_result:(progress verbose) ~paused:true ~pool ~slots ()
+      in
+      let previous =
+        List.map
+          (fun s -> (s, Sys.signal s (Sys.Signal_handle (fun _ -> Sched.interrupt sched))))
+          [ Sys.sigint; Sys.sigterm ]
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun (s, h) -> Sys.set_signal s h) previous;
+          Sched.shutdown sched)
+        (fun () ->
+           List.iter (fun r -> Sched.submit sched r.Manifest.job) resolved;
+           Sched.start sched;
+           let results = Sched.drain sched in
+           (results, Sched.interrupted sched)))
+
+(* Count outcomes out of raw result lines (the daemon path has no
+   Sched.job_result values to inspect). *)
+let line_outcome line =
+  match Obs.Metrics.parse_json line with
+  | Obs.Metrics.Jobj kvs ->
+    (match List.assoc_opt "outcome" kvs with
+     | Some (Obs.Metrics.Jstr o) -> o
+     | _ -> "unknown")
+  | _ | (exception Obs.Metrics.Parse_error _) -> "unknown"
+
 let run manifest slots threads seed out no_timings strict verbose metrics metrics_json
-    dd_domains =
+    dd_domains connect tenant =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
@@ -35,20 +79,36 @@ let run manifest slots threads seed out no_timings strict verbose metrics metric
       Obs.Metrics.reset ()
     end;
     let default_config = { Config.default with Config.dd_domains } in
-    let resolved = Manifest.load ~default_config ~base_seed:seed manifest in
-    if resolved = [] then begin
-      Printf.eprintf "error: manifest %s contains no jobs\n" manifest;
-      raise Exit
-    end;
-    Printf.eprintf "batch: %d jobs, %d slots over a %d-worker pool (base seed %d)\n%!"
-      (List.length resolved) slots threads seed;
-    let results =
-      Pool.with_pool threads (fun pool ->
-          Sched.run_jobs ~on_result:(progress verbose) ~pool ~slots
-            (List.map (fun r -> r.Manifest.job) resolved))
+    let text, outcomes, interrupted =
+      match connect with
+      | Some socket_path ->
+        let pairs =
+          Client.run_manifest ~default_config ~base_seed:seed ?tenant
+            ~timings:(not no_timings) ~retry_for:5.0 ~socket_path manifest
+        in
+        if pairs = [] then begin
+          Printf.eprintf "error: manifest %s contains no jobs\n" manifest;
+          raise Exit
+        end;
+        Printf.eprintf "batch: %d jobs via daemon at %s (base seed %d)\n%!"
+          (List.length pairs) socket_path seed;
+        let lines = List.map snd pairs in
+        (String.concat "" (List.map (fun l -> l ^ "\n") lines),
+         List.map line_outcome lines, false)
+      | None ->
+        let resolved = Manifest.load ~default_config ~base_seed:seed manifest in
+        if resolved = [] then begin
+          Printf.eprintf "error: manifest %s contains no jobs\n" manifest;
+          raise Exit
+        end;
+        Printf.eprintf "batch: %d jobs, %d slots over a %d-worker pool (base seed %d)\n%!"
+          (List.length resolved) slots threads seed;
+        let results, interrupted = run_local ~verbose ~slots ~threads resolved in
+        summarize results;
+        (Manifest.result_lines ~timings:(not no_timings) (List.combine resolved results),
+         List.map (fun jr -> Sched.outcome_name jr.Sched.outcome) results,
+         interrupted)
     in
-    summarize results;
-    let text = Manifest.result_lines ~timings:(not no_timings) (List.combine resolved results) in
     (match out with
      | "-" -> print_string text
      | path ->
@@ -66,20 +126,23 @@ let run manifest slots threads seed out no_timings strict verbose metrics metric
         prerr_string (Obs.Metrics.to_text snap)
       end
     end;
-    let incomplete =
-      List.filter
-        (fun jr -> match jr.Sched.outcome with Sched.Completed _ -> false | _ -> true)
-        results
-    in
-    if strict && incomplete <> [] then begin
+    let incomplete = List.filter (fun o -> o <> "completed") outcomes in
+    if interrupted then begin
+      Printf.eprintf "batch: interrupted — partial results written\n%!";
+      130
+    end
+    else if strict && incomplete <> [] then begin
       Printf.eprintf "strict: %d job(s) did not complete\n" (List.length incomplete);
       2
     end
     else 0
   with
   | Exit -> 1
-  | Manifest.Error m | Invalid_argument m | Sys_error m ->
+  | Manifest.Error m | Client.Error m | Invalid_argument m | Sys_error m ->
     Printf.eprintf "error: %s\n" m;
+    1
+  | Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "error: %s: %s %s\n" (Unix.error_message e) fn arg;
     1
 
 let cmd =
@@ -128,9 +191,19 @@ let cmd =
              ~doc:"Default DD-phase domain count for every job (a job's own \
                    $(i,dd_domains) manifest field overrides it).")
   in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCKET"
+             ~doc:"Run the jobs in the flatdd_serve daemon listening on $(docv) instead of in-process; ids and seeds are pinned locally so the results match a local run byte-for-byte.")
+  in
+  let tenant =
+    Arg.(value & opt (some string) None
+         & info [ "tenant" ] ~docv:"NAME"
+             ~doc:"Tenant to submit under with --connect (jobs with their own $(i,tenant) field keep it).")
+  in
   let term =
     Term.(const run $ manifest $ slots $ threads $ seed $ out $ no_timings $ strict
-          $ verbose $ metrics $ metrics_json $ dd_domains)
+          $ verbose $ metrics $ metrics_json $ dd_domains $ connect $ tenant)
   in
   Cmd.v
     (Cmd.info "flatdd_batch"

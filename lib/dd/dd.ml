@@ -851,6 +851,20 @@ let compact p ~vroots ~mroots =
     Obs.set_gauge g_marena_free (Node_store.free_slots p.ma)
   end
 
+(* Full reset for warm reuse: semantically a fresh package, physically the
+   same arenas/tables at their grown capacities. Every edge handed out
+   before the reset is dead (all non-terminal slots are swept and the
+   ctable ids are reissued), so callers must drop their roots first. The
+   epoch bump from [compact] already invalidates every compute-cache
+   entry; the ctable clear reissues ids from the seeded constants, so a
+   warm run canonicalizes weights exactly like a cold one — byte-identical
+   amplitudes, no tolerance drift from a previous job's residents. *)
+let reset p =
+  disable_parallel p;
+  compact p ~vroots:[] ~mroots:[];
+  Ctable.clear p.ct;
+  refresh_snapshot p
+
 let live_vnodes p = Node_store.live p.va
 let live_mnodes p = Node_store.live p.ma
 let vfree_slots p = Node_store.free_slots p.va

@@ -192,6 +192,15 @@ val compact : package -> vroots:vedge list -> mroots:medge list -> unit
     before the sweep can never alias a recycled index; live node indices
     remain valid. *)
 
+val reset : package -> unit
+(** Return the package to its just-created state while keeping the grown
+    arena/table capacities: quiesces any parallel regime, sweeps every
+    non-terminal slot, clears the complex-number table (ids are reissued
+    from the seeded constants) and bumps the epoch. All previously issued
+    edges are invalid afterwards. This is the warm-reuse primitive: a
+    reset package computes bit-identical amplitudes to a fresh one, but
+    skips the arena and table allocation. *)
+
 val epoch : package -> int
 (** Number of {!compact} runs so far — the stamp the compute caches are
     validated against. *)

@@ -188,6 +188,10 @@ let give ws b =
     ws.free <- b :: ws.free
   end
 
+let scrub_workspace ws =
+  List.iter Buf.fill_zero ws.free;
+  List.length ws.free
+
 let take_buffer ws n =
   match ws with
   | Some ws when ws.ws_n = n ->

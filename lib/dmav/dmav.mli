@@ -37,6 +37,12 @@ val give : workspace -> Buf.t -> unit
 val free_buffers : workspace -> int
 (** Buffers currently on the free list (for tests and accounting). *)
 
+val scrub_workspace : workspace -> int
+(** Zeroes every buffer on the free list and returns how many were
+    scrubbed. Functionally a no-op (kernels never read stale contents);
+    it exists so a multi-tenant server can guarantee one tenant's
+    amplitudes never sit in a buffer handed to the next. *)
+
 type exec_stats = {
   used_cache : bool;
   decision : Cost.decision;

@@ -57,13 +57,17 @@ let make_check_cancel cancel =
   | None -> fun () -> ()
   | Some poll -> fun () -> if poll () then raise Cancelled
 
-let make_ctx ?workspace (cfg : Config.t) ~pool ~n =
+(* A caller-supplied package (a warm handle's arena) must arrive in its
+   just-reset state — [Warm] guarantees that; a mismatched workspace is
+   replaced rather than trusted. *)
+let make_ctx ?package ?workspace (cfg : Config.t) ~pool ~n =
   let workspace =
     match workspace with
     | Some ws when Dmav.workspace_n ws = n -> ws
     | _ -> Dmav.workspace ~n
   in
-  { Engine.cfg; pool; package = Dd.create (); workspace }
+  let package = match package with Some p -> p | None -> Dd.create () in
+  { Engine.cfg; pool; package; workspace }
 
 (* The flat phase's executable gate stream: remaining ops as matrix DDs,
    fused per config. An op survives as [xo_op] only when it was not fused,
@@ -152,7 +156,7 @@ let step (type s) (module E : Engine.ENGINE with type state = s) st acc ~check_c
       dispatch = stats.Engine.gs_dispatch };
   stats
 
-let run ?cancel ?pool ?workspace (cfg : Config.t) (c : Circuit.t) =
+let run ?cancel ?pool ?package ?workspace (cfg : Config.t) (c : Circuit.t) =
   let n = c.Circuit.n in
   let gates = Circuit.num_gates c in
   (* Cooperative cancellation: polled once per gate (and around the
@@ -168,7 +172,7 @@ let run ?cancel ?pool ?workspace (cfg : Config.t) (c : Circuit.t) =
     (fun () ->
        Obs.incr c_runs;
        Obs.add c_gates gates;
-       let ctx = make_ctx ?workspace cfg ~pool ~n in
+       let ctx = make_ctx ?package ?workspace cfg ~pool ~n in
        let monitor = Ewma.create ~beta:cfg.Config.beta ~epsilon:cfg.Config.epsilon in
        let acc = make_acc cfg in
 
@@ -296,7 +300,7 @@ let run ?cancel ?pool ?workspace (cfg : Config.t) (c : Circuit.t) =
 (* Run a whole circuit on ONE engine, no conversion — the pure-DD,
    pure-DMAV and pure-dense reference paths, all through the same timed,
    traced, cancellable gate loop. *)
-let run_engine (type s) ?cancel ?pool ?workspace
+let run_engine (type s) ?cancel ?pool ?package ?workspace
     (module E : Engine.ENGINE with type state = s) (cfg : Config.t) (c : Circuit.t) =
   let n = c.Circuit.n in
   let gates = Circuit.num_gates c in
@@ -310,7 +314,7 @@ let run_engine (type s) ?cancel ?pool ?workspace
     (fun () ->
        Obs.incr c_runs;
        Obs.add c_gates gates;
-       let ctx = make_ctx ?workspace cfg ~pool ~n in
+       let ctx = make_ctx ?package ?workspace cfg ~pool ~n in
        let monitor = Ewma.create ~beta:cfg.Config.beta ~epsilon:cfg.Config.epsilon in
        ignore (Ewma.observe monitor (float_of_int n));
        let acc = make_acc cfg in

@@ -37,6 +37,7 @@ type result = {
 val run :
   ?cancel:(unit -> bool) ->
   ?pool:Pool.t ->
+  ?package:Dd.package ->
   ?workspace:Dmav.workspace ->
   Config.t ->
   Circuit.t ->
@@ -45,11 +46,15 @@ val run :
     over this). A supplied [workspace] lets serial callers (the batch
     scheduler) reuse 2ⁿ scratch buffers across runs; it must have been
     built for the same [n] (a mismatched one is ignored) and must not be
-    shared across concurrent runs. *)
+    shared across concurrent runs. A supplied [package] replaces the
+    per-run [Dd.create] — it must be freshly created or {!Dd.reset} (a
+    warm handle from {!Warm}); results are then bit-identical to a
+    cold run while skipping arena/table allocation. *)
 
 val run_engine :
   ?cancel:(unit -> bool) ->
   ?pool:Pool.t ->
+  ?package:Dd.package ->
   ?workspace:Dmav.workspace ->
   (module Engine.ENGINE with type state = 's) ->
   Config.t ->

@@ -1,0 +1,93 @@
+(* Warm engine-state handles: the per-run allocations Driver.run would
+   otherwise rebuild from scratch — the DD package (arenas, unique tables,
+   ctable, compute caches) and the 2ⁿ DMAV workspace buffers — kept in a
+   keyed cache and reused across jobs.
+
+   Correctness contract: a handle is returned to the cache only through
+   [release], which runs [Dd.reset] — semantically a fresh package at
+   grown capacity — so a warm run computes bit-identical amplitudes to a
+   cold one. Privacy contract: when a handle last served a different
+   tenant, [acquire] scrubs the workspace free list (zeroing every cached
+   amplitude buffer) before handing it out, so no tenant ever receives a
+   buffer still holding another tenant's state. *)
+
+let c_hits = Obs.counter "serve.warm_hits"
+let c_misses = Obs.counter "serve.warm_misses"
+let c_scrubs = Obs.counter "serve.warm_scrubs"
+let c_evictions = Obs.counter "serve.warm_evictions"
+let g_idle = Obs.gauge "serve.warm_idle"
+
+type handle = {
+  h_n : int;
+  package : Dd.package;
+  workspace : Dmav.workspace;
+  mutable last_tenant : string;
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  mutable idle : handle list; (* MRU first *)
+}
+
+let create ?(capacity = 8) () =
+  if capacity < 0 then invalid_arg "Warm.create: capacity must be >= 0";
+  { mutex = Mutex.create (); capacity; idle = [] }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let idle_handles t = locked t (fun () -> List.length t.idle)
+
+(* Pop the most recently released handle built for [n] qubits; the
+   package itself is size-agnostic but the workspace buffers are 2ⁿ. *)
+let pop_match t ~n =
+  let rec go acc = function
+    | [] -> None
+    | h :: rest when h.h_n = n ->
+      t.idle <- List.rev_append acc rest;
+      Some h
+    | h :: rest -> go (h :: acc) rest
+  in
+  go [] t.idle
+
+let acquire t ?(tenant = "") ~n () =
+  let found = locked t (fun () -> pop_match t ~n) in
+  let h =
+    match found with
+    | Some h ->
+      Obs.incr c_hits;
+      if not (String.equal h.last_tenant tenant) then begin
+        ignore (Dmav.scrub_workspace h.workspace);
+        Obs.incr c_scrubs
+      end;
+      h
+    | None ->
+      Obs.incr c_misses;
+      { h_n = n; package = Dd.create (); workspace = Dmav.workspace ~n; last_tenant = tenant }
+  in
+  h.last_tenant <- tenant;
+  Obs.set_gauge g_idle (idle_handles t);
+  h
+
+(* The caller must be done with every edge and result derived from this
+   handle's package (a Dd_state final, in particular) before releasing —
+   [Dd.reset] kills them all. *)
+let release t h =
+  Dd.reset h.package;
+  let evicted =
+    locked t (fun () ->
+        t.idle <- h :: t.idle;
+        if List.length t.idle > t.capacity then begin
+          let keep = List.filteri (fun i _ -> i < t.capacity) t.idle in
+          let dropped = List.length t.idle - List.length keep in
+          t.idle <- keep;
+          dropped
+        end
+        else 0)
+  in
+  if evicted > 0 then Obs.add c_evictions evicted;
+  Obs.set_gauge g_idle (idle_handles t)
+
+let drop_all t = locked t (fun () -> t.idle <- [])

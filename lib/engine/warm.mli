@@ -1,0 +1,45 @@
+(** Warm engine-state handles for service-style reuse.
+
+    Every [Driver.run] without a supplied package/workspace rebuilds the
+    DD arenas, unique tables, complex-number table, compute caches and
+    the 2ⁿ DMAV buffers — acceptable per process, wasteful per request.
+    A {!t} keeps released handles idle; a request that {!acquire}s one
+    skips all of that allocation ([serve.warm_hits]) and still computes
+    bit-identical results, because {!release} runs [Dd.reset] before a
+    handle can be reused.
+
+    Tenancy: handles remember the last tenant they served. Acquiring a
+    handle for a different tenant zeroes every cached amplitude buffer
+    first ([serve.warm_scrubs]), so state can never leak across tenants
+    through the workspace free list.
+
+    Instrumented as [serve.warm_{hits,misses,scrubs,evictions}] and the
+    gauge [serve.warm_idle]. Thread-safe: the idle list is mutex-guarded;
+    an acquired handle belongs to exactly one run at a time. *)
+
+type handle = {
+  h_n : int;                    (** qubit count the workspace was built for *)
+  package : Dd.package;         (** pass as [Driver.run ?package] *)
+  workspace : Dmav.workspace;   (** pass as [Driver.run ?workspace] *)
+  mutable last_tenant : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the idle list (default 8); excess handles released
+    beyond it are dropped for the GC ([serve.warm_evictions]). *)
+
+val acquire : t -> ?tenant:string -> n:int -> unit -> handle
+(** Pops the most recently released handle built for [n] qubits, or
+    builds a cold one. Scrubs the workspace when the tenant changed. *)
+
+val release : t -> handle -> unit
+(** Resets the handle's package and returns it to the idle list. The
+    caller must have finished reading anything derived from the package
+    (e.g. a [Dd_state] final and its p0) — every edge dies here. *)
+
+val idle_handles : t -> int
+
+val drop_all : t -> unit
+(** Empties the idle list (handles are plain GC-managed state). *)

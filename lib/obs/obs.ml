@@ -184,6 +184,28 @@ module Metrics = struct
              Atomic.set s.s_ns 0)
           span_tbl)
 
+  (* Delta between two snapshots of the same registry: counters, fcounters
+     and spans subtract (instruments registered only in [curr] keep their
+     full value); gauges are instantaneous and come from [curr] unchanged.
+     This is what makes periodic emission re-entrant — a streaming producer
+     (the serve daemon's per-job metrics frames) diffs against its previous
+     snapshot instead of calling [reset], so the process-lifetime totals
+     survive any number of emissions. *)
+  let diff base curr =
+    let sub_int b (k, v) = v - Option.value (List.assoc_opt k b) ~default:0 in
+    let sub_float b (k, v) = v -. Option.value (List.assoc_opt k b) ~default:0.0 in
+    { counters = List.map (fun kv -> (fst kv, sub_int base.counters kv)) curr.counters;
+      fcounters =
+        List.map (fun kv -> (fst kv, sub_float base.fcounters kv)) curr.fcounters;
+      gauges = curr.gauges;
+      spans =
+        List.map
+          (fun (k, (s : span_value)) ->
+             match List.assoc_opt k base.spans with
+             | None -> (k, s)
+             | Some b -> (k, { count = s.count - b.count; seconds = s.seconds -. b.seconds }))
+          curr.spans }
+
   let counter_value snap name = List.assoc_opt name snap.counters
   let fcounter_value snap name = List.assoc_opt name snap.fcounters
   let gauge_value snap name = List.assoc_opt name snap.gauges

@@ -7,7 +7,7 @@
 
 exception Error of string
 
-type resolved = { job : Sched.job; seed : int }
+type resolved = { job : Sched.job; seed : int; explicit_seed : bool }
 
 let failf fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
@@ -42,12 +42,28 @@ let float_field ~where kvs name =
   | Some _ -> failf "%s: field %S must be a number" where name
 
 let known_fields =
-  [ "id"; "circuit"; "qasm"; "n"; "gates"; "seed"; "priority"; "deadline_s";
-    "max_retries"; "beta"; "epsilon"; "compact_every"; "fusion"; "policy";
-    "dd_domains" ]
+  [ "schema"; "id"; "tenant"; "circuit"; "qasm"; "n"; "gates"; "seed"; "priority";
+    "deadline_s"; "max_retries"; "beta"; "epsilon"; "compact_every"; "fusion";
+    "policy"; "dd_domains" ]
+
+let schema = "qcs_sched/v1"
+let schema_prefix = "qcs_sched/v"
+
+(* The optional per-line "schema" tag is version-strict: v1 parses, any
+   other qcs_sched version is rejected with a line-numbered error rather
+   than silently defaulting the fields that version might redefine. *)
+let check_schema ~where = function
+  | None -> ()
+  | Some s when String.equal s schema -> ()
+  | Some s
+    when String.length s > String.length schema_prefix
+         && String.equal (String.sub s 0 (String.length schema_prefix)) schema_prefix ->
+    failf "%s: unsupported manifest schema version %S (this parser speaks %s)"
+      where s schema
+  | Some s -> failf "%s: unknown schema %S (expected %s)" where s schema
 
 let parse_line ?(default_config = Config.default) ?(base_seed = 1) ?(dir = ".")
-    ~index line =
+    ?(strict = true) ~index line =
   let where = Printf.sprintf "manifest line %d" (index + 1) in
   let kvs =
     match parse_json line with
@@ -55,21 +71,27 @@ let parse_line ?(default_config = Config.default) ?(base_seed = 1) ?(dir = ".")
     | _ -> failf "%s: not a JSON object" where
     | exception Parse_error m -> failf "%s: %s" where m
   in
-  List.iter
-    (fun (k, _) ->
-       if not (List.mem k known_fields) then failf "%s: unknown field %S" where k)
-    kvs;
+  (* Unknown top-level fields are rejected under [strict] (the default);
+     a tolerant parser — the serve daemon fed by a newer client — can opt
+     out and skip fields it does not understand. *)
+  if strict then
+    List.iter
+      (fun (k, _) ->
+         if not (List.mem k known_fields) then failf "%s: unknown field %S" where k)
+      kvs;
+  check_schema ~where (str_field ~where kvs "schema");
   let id =
     match str_field ~where kvs "id" with
     | Some id when id <> "" -> id
     | Some _ -> failf "%s: empty id" where
     | None -> Printf.sprintf "job-%d" index
   in
-  let seed =
+  let explicit_seed, seed =
     match int_field ~where kvs "seed" with
-    | Some s -> s
-    | None -> Rng.derive base_seed index
+    | Some s -> (true, s)
+    | None -> (false, Rng.derive base_seed index)
   in
+  let tenant = Option.value (str_field ~where kvs "tenant") ~default:"" in
   let circuit =
     match str_field ~where kvs "circuit", str_field ~where kvs "qasm" with
     | Some _, Some _ -> failf "%s: give either \"circuit\" or \"qasm\", not both" where
@@ -146,9 +168,11 @@ let parse_line ?(default_config = Config.default) ?(base_seed = 1) ?(dir = ".")
     | Some r -> failf "%s: max_retries must be >= 0 (got %d)" where r
     | None -> 0
   in
-  { job = Sched.job ~config ~priority ~deadline_s ~max_retries ~id circuit; seed }
+  { job = Sched.job ~config ~tenant ~priority ~deadline_s ~max_retries ~id circuit;
+    seed;
+    explicit_seed }
 
-let load ?default_config ?base_seed path =
+let load ?default_config ?base_seed ?strict path =
   let dir = Filename.dirname path in
   let ic = open_in path in
   Fun.protect
@@ -161,7 +185,7 @@ let load ?default_config ?base_seed path =
            let stripped = String.trim line in
            if stripped = "" || stripped.[0] = '#' then go (index + 1) acc seen
            else begin
-             let r = parse_line ?default_config ?base_seed ~dir ~index stripped in
+             let r = parse_line ?default_config ?base_seed ~dir ?strict ~index stripped in
              let id = r.job.Sched.id in
              if List.mem id seen then
                failf "manifest line %d: duplicate job id %S" (index + 1) id;
@@ -223,6 +247,10 @@ let result_line ?(timings = true) ~seed (jr : Sched.job_result) =
   sep ();
   str "id" job.Sched.id;
   sep ();
+  if job.Sched.tenant <> "" then begin
+    str "tenant" job.Sched.tenant;
+    sep ()
+  end;
   str "outcome" (Sched.outcome_name jr.Sched.outcome);
   sep ();
   int "priority" job.Sched.priority;

@@ -24,17 +24,33 @@
 exception Error of string
 (** Parse or resolution failure; the message names the line. *)
 
-type resolved = { job : Sched.job; seed : int }
+type resolved = { job : Sched.job; seed : int; explicit_seed : bool }
 (** A manifest line after circuit generation; [seed] is echoed into the
-    result stream. *)
+    result stream ([explicit_seed] says whether the line carried it or it
+    was derived from the base seed and line index — the serve client
+    pins derived seeds before shipping lines to a daemon). *)
 
 val parse_line :
-  ?default_config:Config.t -> ?base_seed:int -> ?dir:string -> index:int -> string -> resolved
+  ?default_config:Config.t ->
+  ?base_seed:int ->
+  ?dir:string ->
+  ?strict:bool ->
+  index:int ->
+  string ->
+  resolved
 (** [parse_line ~index line] resolves the [index]-th (0-based) manifest
     line. [dir] anchors relative [qasm] paths (default ["."]).
+
+    Version strictness: an optional per-line ["schema"] field must be
+    ["qcs_sched/v1"] — any other [qcs_sched/vN] raises a line-numbered
+    {!Error} instead of silently defaulting the fields that version might
+    redefine. Unknown top-level fields are rejected when [strict] (the
+    default); [~strict:false] skips them, for a daemon fed by newer
+    clients.
     @raise Error on malformed input. *)
 
-val load : ?default_config:Config.t -> ?base_seed:int -> string -> resolved list
+val load :
+  ?default_config:Config.t -> ?base_seed:int -> ?strict:bool -> string -> resolved list
 (** Reads a whole manifest file; blank lines and [#]-prefixed comment
     lines are skipped (indices still count physical lines).
     @raise Error on malformed input, [Sys_error] on IO failure. *)

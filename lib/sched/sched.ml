@@ -20,6 +20,7 @@ let s_run = Obs.span "sched.run"
 
 type job = {
   id : string;
+  tenant : string;
   circuit : Circuit.t;
   config : Config.t;
   priority : int;
@@ -27,9 +28,9 @@ type job = {
   max_retries : int;
 }
 
-let job ?(config = Config.default) ?(priority = 0) ?(deadline_s = 0.0) ?(max_retries = 0)
-    ~id circuit =
-  { id; circuit; config; priority; deadline_s; max_retries }
+let job ?(config = Config.default) ?(tenant = "") ?(priority = 0) ?(deadline_s = 0.0)
+    ?(max_retries = 0) ~id circuit =
+  { id; tenant; circuit; config; priority; deadline_s; max_retries }
 
 type outcome =
   | Completed of Simulator.result
@@ -52,9 +53,9 @@ let outcome_name = function
   | Timed_out -> "timed_out"
   | Cancelled -> "cancelled"
 
-type runner = cancel:(unit -> bool) -> pool:Pool.t -> Config.t -> Circuit.t -> Simulator.result
+type runner = cancel:(unit -> bool) -> pool:Pool.t -> job -> Simulator.result
 
-let default_runner ~cancel ~pool cfg circuit = Simulator.simulate ~cancel ~pool cfg circuit
+let default_runner ~cancel ~pool job = Simulator.simulate ~cancel ~pool job.config job.circuit
 
 let default_downgrade cfg = { cfg with Config.policy = Config.Convert_at (-1) }
 
@@ -75,6 +76,7 @@ type t = {
   downgrade : Config.t -> Config.t;
   runner : runner;
   on_result : job_result -> unit;
+  stop : bool Atomic.t;                      (* interrupt: cancel everything *)
 }
 
 let create ?(downgrade = default_downgrade) ?(runner = default_runner)
@@ -86,9 +88,18 @@ let create ?(downgrade = default_downgrade) ?(runner = default_runner)
     order = [];
     downgrade;
     runner;
-    on_result }
+    on_result;
+    stop = Atomic.make false }
 
 let start t = Taskq.start t.tq
+
+(* One atomic store, safe to call from a signal handler: every job's
+   cancel poll ORs this flag in, so running jobs resolve as [Cancelled]
+   within one gate and queued ones as soon as a slot picks them up.
+   [drain] still returns the full result list, so a batch CLI can write
+   whatever completed before the interrupt. *)
+let interrupt t = Atomic.set t.stop true
+let interrupted t = Atomic.get t.stop
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -113,31 +124,39 @@ let execute t tracked =
   let deadline_abs =
     if job.deadline_s > 0.0 then started_at +. job.deadline_s else infinity
   in
-  let cancel_poll () =
-    Atomic.get tracked.user_cancel || Unix.gettimeofday () > deadline_abs
-  in
-  let attempts = ref 0 in
-  let downgraded = ref false in
-  let rec attempt cfg =
-    incr attempts;
-    match t.runner ~cancel:cancel_poll ~pool:t.pool cfg job.circuit with
-    | r -> Completed r
-    | exception Simulator.Cancelled ->
-      if Atomic.get tracked.user_cancel then Cancelled else Timed_out
-    | exception e ->
-      (* Retry only while the job is still allowed to run; a failure past
-         the deadline or after a cancel keeps the failure outcome but
-         burns no further attempts. *)
-      if !attempts <= job.max_retries && not (cancel_poll ()) then begin
-        Obs.incr c_retries;
-        downgraded := true;
-        attempt (t.downgrade cfg)
-      end
-      else Failed e
-  in
-  let outcome, run_s = Obs.timed s_run (fun () -> attempt job.config) in
-  record t tracked
-    { job; outcome; queue_wait_s; run_s; attempts = !attempts; downgraded = !downgraded }
+  let user_cancelled () = Atomic.get tracked.user_cancel || Atomic.get t.stop in
+  let cancel_poll () = user_cancelled () || Unix.gettimeofday () > deadline_abs in
+  if user_cancelled () then
+    (* Cancelled (or the whole scheduler interrupted) while queued but
+       after dispatch won the race against [cancel]: resolve without
+       starting an attempt. *)
+    record t tracked
+      { job; outcome = Cancelled; queue_wait_s; run_s = 0.0; attempts = 0;
+        downgraded = false }
+  else begin
+    let attempts = ref 0 in
+    let downgraded = ref false in
+    let rec attempt cfg =
+      incr attempts;
+      match t.runner ~cancel:cancel_poll ~pool:t.pool { job with config = cfg } with
+      | r -> Completed r
+      | exception Simulator.Cancelled ->
+        if user_cancelled () then Cancelled else Timed_out
+      | exception e ->
+        (* Retry only while the job is still allowed to run; a failure past
+           the deadline or after a cancel keeps the failure outcome but
+           burns no further attempts. *)
+        if !attempts <= job.max_retries && not (cancel_poll ()) then begin
+          Obs.incr c_retries;
+          downgraded := true;
+          attempt (t.downgrade cfg)
+        end
+        else Failed e
+    in
+    let outcome, run_s = Obs.timed s_run (fun () -> attempt job.config) in
+    record t tracked
+      { job; outcome; queue_wait_s; run_s; attempts = !attempts; downgraded = !downgraded }
+  end
 
 let submit t job =
   let tracked =

@@ -30,6 +30,7 @@
 
 type job = {
   id : string;                (** unique within one scheduler *)
+  tenant : string;            (** accounting key for the serve layer; "" = none *)
   circuit : Circuit.t;
   config : Config.t;
   priority : int;             (** higher dispatches first; default 0 *)
@@ -39,14 +40,15 @@ type job = {
 
 val job :
   ?config:Config.t ->
+  ?tenant:string ->
   ?priority:int ->
   ?deadline_s:float ->
   ?max_retries:int ->
   id:string ->
   Circuit.t ->
   job
-(** Smart constructor: [Config.default], priority 0, no deadline, no
-    retries unless overridden. *)
+(** Smart constructor: [Config.default], no tenant, priority 0, no
+    deadline, no retries unless overridden. *)
 
 type outcome =
   | Completed of Simulator.result
@@ -66,9 +68,12 @@ type job_result = {
 val outcome_name : outcome -> string
 (** ["completed" | "failed" | "timed_out" | "cancelled"]. *)
 
-type runner = cancel:(unit -> bool) -> pool:Pool.t -> Config.t -> Circuit.t -> Simulator.result
-(** How one attempt executes. The default is [Simulator.simulate]; tests
-    inject failing runners to exercise retry paths. *)
+type runner = cancel:(unit -> bool) -> pool:Pool.t -> job -> Simulator.result
+(** How one attempt executes; the job carries the attempt's config (a
+    retry passes the downgraded config in [job.config]). The default is
+    [Simulator.simulate]; tests inject failing runners to exercise retry
+    paths, and the serve daemon injects a warm-state runner keyed by
+    [job.tenant]. *)
 
 val default_downgrade : Config.t -> Config.t
 (** The retry downgrade: force the flat-array path ([Convert_at (-1)]),
@@ -106,6 +111,15 @@ val drain : t -> job_result list
 (** Starts dispatch if paused, waits for every submitted job to resolve
     and returns results in {e submission} order — deterministic output
     for identical manifests regardless of slot interleaving. *)
+
+val interrupt : t -> unit
+(** Trips every job's cancel poll at once: running jobs resolve as
+    [Cancelled] within one gate, queued ones resolve as [Cancelled]
+    without starting. One atomic store — safe to call from a signal
+    handler; {!drain} afterwards still returns every result, so a batch
+    CLI interrupted by SIGINT/SIGTERM can write the outcomes it has. *)
+
+val interrupted : t -> bool
 
 val shutdown : t -> unit
 (** Waits for running jobs, resolves still-queued ones as [Cancelled],

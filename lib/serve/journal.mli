@@ -1,0 +1,58 @@
+(** Crash-safe accepted-job journal (schema [qcs_serve_journal/v1]).
+
+    One entry per accepted job, in accept order, holding the {e pinned}
+    manifest line (explicit ["id"] and ["seed"] baked in) and, once the
+    job finishes, its canonical timings-off result line. Every mutation
+    rewrites the file through {!Obs.atomic_write_file}, so a [kill -9]
+    at any instant leaves a complete journal — the restarted daemon
+    re-runs every [Pending] entry and replays [Done] results verbatim,
+    giving exactly-once results over at-least-once submission.
+
+    Not internally synchronized; the serve core's mutex guards it. *)
+
+exception Error of string
+
+type state = Pending | Done of string  (** canonical result line *)
+
+type entry = {
+  e_id : string;
+  e_tenant : string;
+  e_seed : int;
+  e_line : string;  (** pinned manifest line, replayable at any index *)
+  mutable e_state : state;
+}
+
+type t
+
+val create : ?path:string -> base_seed:int -> unit -> t
+(** Opens (and replays) [path] if it exists; without [path] the journal
+    is memory-only (durability off, same API). Restored entries count
+    [serve.journal.restored].
+    @raise Error if an existing file is malformed or was written with a
+    different [base_seed]. *)
+
+val take_index : t -> int
+(** Allocate the next derivation index for a fresh accept (monotonic
+    across restarts — persisted in the header so a restarted daemon
+    never re-derives a seed already handed out). *)
+
+val accept : t -> id:string -> tenant:string -> seed:int -> line:string -> entry
+(** Record an accepted job and flush. Counts [serve.journal.writes].
+    @raise Error on duplicate id. *)
+
+val complete : t -> id:string -> result:string -> unit
+(** Mark [id] done with its canonical result line and flush. Only call
+    for terminal outcomes — a job cancelled by daemon shutdown stays
+    [Pending] so the restart re-runs it.
+    @raise Error on unknown id. *)
+
+val find : t -> string -> entry option
+
+val pending : t -> entry list
+(** Pending entries, in accept order. *)
+
+val done_results : t -> (string * string) list
+(** [(id, canonical result line)] for done entries, in accept order. *)
+
+val size : t -> int
+val base_seed : t -> int

@@ -1,0 +1,122 @@
+(* Deficit round robin over per-tenant FIFO queues.
+
+   Each tenant owns a queue of weighted payloads (cost = gate count). The
+   picker walks the ring; every visit to a non-empty queue tops the
+   tenant's deficit up by [quantum], and the head job dispatches once its
+   cost fits in the deficit. A tenant that drains its queue forfeits the
+   leftover deficit, so an idle tenant cannot bank credit while others
+   work — the classic DRR fairness invariant.
+
+   The structure is NOT internally synchronized: the serve core already
+   holds one mutex across admission, picking and completion, and a second
+   lock here would only invite ordering bugs (see qcs_lint's
+   mutex-discipline rule — one lock per shared structure, held in one
+   place). *)
+
+let c_admitted = Obs.counter "serve.admitted"
+let c_rejected = Obs.counter "serve.rejected"
+let g_depth = Obs.gauge "serve.queue_depth"
+
+type 'a entry = { cost : int; payload : 'a }
+
+type 'a tenant_state = {
+  name : string;
+  queue : 'a entry Queue.t;
+  mutable deficit : int;
+  mutable inflight : int;
+}
+
+type 'a t = {
+  quantum : int;
+  quota : int; (* max queued+inflight per tenant; 0 = unlimited *)
+  mutable ring : 'a tenant_state list; (* rotates; next pick starts at head *)
+  mutable depth : int;
+}
+
+let create ?(quantum = 64) ?(quota = 0) () =
+  { quantum = max 1 quantum; quota; ring = []; depth = 0 }
+
+let state t name =
+  match List.find_opt (fun s -> String.equal s.name name) t.ring with
+  | Some s -> s
+  | None ->
+    let s = { name; queue = Queue.create (); deficit = 0; inflight = 0 } in
+    t.ring <- t.ring @ [ s ];
+    s
+
+let offer ?(force = false) t ~tenant ~cost payload =
+  let s = state t tenant in
+  let load = Queue.length s.queue + s.inflight in
+  if (not force) && t.quota > 0 && load >= t.quota then begin
+    Obs.incr c_rejected;
+    Error
+      (Printf.sprintf "tenant %S over quota (%d jobs queued or running, quota %d)"
+         tenant load t.quota)
+  end
+  else begin
+    Queue.add { cost = max 1 cost; payload } s.queue;
+    t.depth <- t.depth + 1;
+    Obs.set_gauge g_depth t.depth;
+    Obs.incr c_admitted;
+    Ok ()
+  end
+
+(* DRR pick: rotate through the ring, refilling deficits as we go, until
+   some head becomes affordable. [None] means every queue is empty — a
+   single pass may refuse every head (cost above this round's credit),
+   but each pass grows every non-empty queue's deficit by [quantum], so
+   with work queued a pick lands within ceil(max cost / quantum) passes.
+   Returning None early here would strand jobs: the serve core only pumps
+   on admission and completion, and a quiet daemon (e.g. one replaying a
+   journal at startup) would never ask again. *)
+let next t =
+  let n = List.length t.ring in
+  let rec scan i =
+    if i >= n then None
+    else
+      match t.ring with
+      | [] -> None
+      | s :: rest ->
+        if Queue.is_empty s.queue then begin
+          (* Empty queue forfeits its credit; rotate past it. *)
+          s.deficit <- 0;
+          t.ring <- rest @ [ s ];
+          scan (i + 1)
+        end
+        else begin
+          s.deficit <- s.deficit + t.quantum;
+          let head = Queue.peek s.queue in
+          if head.cost <= s.deficit then begin
+            ignore (Queue.pop s.queue);
+            s.deficit <- s.deficit - head.cost;
+            if Queue.is_empty s.queue then s.deficit <- 0;
+            s.inflight <- s.inflight + 1;
+            t.depth <- t.depth - 1;
+            Obs.set_gauge g_depth t.depth;
+            (* Rotate so the next pick starts after this tenant. *)
+            t.ring <- rest @ [ s ];
+            Some (s.name, head.payload)
+          end
+          else begin
+            t.ring <- rest @ [ s ];
+            scan (i + 1)
+          end
+        end
+  in
+  let rec drive () =
+    if t.depth = 0 then None
+    else match scan 0 with Some pick -> Some pick | None -> drive ()
+  in
+  drive ()
+
+let finish t ~tenant =
+  match List.find_opt (fun s -> String.equal s.name tenant) t.ring with
+  | Some s -> s.inflight <- max 0 (s.inflight - 1)
+  | None -> ()
+
+let pending t = t.depth
+
+let inflight t =
+  List.fold_left (fun acc s -> acc + s.inflight) 0 t.ring
+
+let tenants t = List.map (fun s -> s.name) t.ring

@@ -1,0 +1,44 @@
+(** Deficit-round-robin admission and fair dispatch across tenants.
+
+    Each tenant holds a FIFO of weighted payloads (the serve core uses
+    gate count as cost). {!next} implements textbook DRR: every visit to
+    a backlogged tenant grants [quantum] credit, the head dispatches
+    when its cost fits, and an emptied queue forfeits leftover credit.
+    Over a long run each backlogged tenant therefore receives service
+    proportional to the (equal) quantum, independent of how many jobs or
+    how large a burst any one tenant submits.
+
+    The structure is deliberately {e not} thread-safe: the serve core
+    serializes all access under its own mutex. *)
+
+type 'a t
+
+val create : ?quantum:int -> ?quota:int -> unit -> 'a t
+(** [quantum] is the per-visit deficit refill in cost units (default 64
+    ≈ one small circuit's gates); [quota] bounds each tenant's
+    queued+inflight jobs, [0] (default) meaning unlimited. *)
+
+val offer :
+  ?force:bool -> 'a t -> tenant:string -> cost:int -> 'a -> (unit, string) result
+(** Enqueue for [tenant], or [Error reason] if the tenant is at quota.
+    [~force:true] skips the quota check — used when re-queuing journal
+    entries that were already admitted in a previous daemon life. Counts
+    [serve.admitted] / [serve.rejected]; maintains the
+    [serve.queue_depth] gauge. *)
+
+val next : 'a t -> (string * 'a) option
+(** Pop the next payload under DRR, tagged with its tenant; [None] iff
+    every queue is empty. The caller must eventually call {!finish} for
+    the returned tenant. *)
+
+val finish : 'a t -> tenant:string -> unit
+(** Mark one inflight job of [tenant] finished (releases quota). *)
+
+val pending : 'a t -> int
+(** Total queued (not yet dispatched) payloads. *)
+
+val inflight : 'a t -> int
+(** Total dispatched-but-unfinished payloads. *)
+
+val tenants : 'a t -> string list
+(** Tenants ever seen, in current ring order (diagnostics). *)

@@ -31,4 +31,5 @@ let () =
          Test_analysis.suite;
          Test_taskq.suite;
          Test_sched.suite;
-         Test_manifest.suite ])
+         Test_manifest.suite;
+         Test_serve.suite ])

@@ -161,6 +161,49 @@ let test_atomic_write_file () =
          [ "snap.json" ]
          (Array.to_list (Sys.readdir dir)))
 
+(* Version-strict schema handling: v1 is accepted (tag optional), any
+   other qcs_sched version or foreign schema is rejected with the line
+   number, and unknown-field rejection is gated on [strict]. *)
+let test_schema_versioning () =
+  let r =
+    Manifest.parse_line ~index:0 {|{"schema":"qcs_sched/v1","circuit":"ghz","n":4}|}
+  in
+  Alcotest.(check int) "v1 tag accepted" 4 r.Manifest.job.Sched.circuit.Circuit.n;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let expect_msg name needle f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Manifest.Error" name
+    | exception Manifest.Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" name m needle) true
+        (contains m needle)
+  in
+  expect_msg "future version rejected" "unsupported manifest schema version"
+    (fun () ->
+       Manifest.parse_line ~index:6 {|{"schema":"qcs_sched/v2","circuit":"ghz","n":4}|});
+  expect_msg "error names the line" "line 7" (fun () ->
+      Manifest.parse_line ~index:6 {|{"schema":"qcs_sched/v2","circuit":"ghz","n":4}|});
+  expect_msg "foreign schema rejected" "unknown schema" (fun () ->
+      Manifest.parse_line ~index:0 {|{"schema":"qcs_obs/v1","circuit":"ghz","n":4}|})
+
+let test_strict_gates_unknown_fields () =
+  (* Default (strict) rejects; a tolerant daemon-style parse skips. *)
+  expect_error "strict rejects unknown field" (fun () ->
+      Manifest.parse_line ~index:0 {|{"circuit":"ghz","n":4,"wavelength":7}|});
+  let r =
+    Manifest.parse_line ~strict:false ~index:0 {|{"circuit":"ghz","n":4,"wavelength":7}|}
+  in
+  Alcotest.(check int) "tolerant parse skips it" 4 r.Manifest.job.Sched.circuit.Circuit.n;
+  (* explicit_seed distinguishes pinned from derived identity. *)
+  let pinned = Manifest.parse_line ~index:0 {|{"circuit":"ghz","n":4,"seed":5}|} in
+  Alcotest.(check bool) "explicit seed flagged" true pinned.Manifest.explicit_seed;
+  let derived = Manifest.parse_line ~index:0 {|{"circuit":"ghz","n":4}|} in
+  Alcotest.(check bool) "derived seed flagged" false derived.Manifest.explicit_seed
+
 let suite =
   [ ( "manifest",
       [ Alcotest.test_case "parse full line" `Quick test_parse_full_line;
@@ -168,6 +211,9 @@ let suite =
           test_defaults_and_derived_seed;
         Alcotest.test_case "config overrides" `Quick test_config_overrides;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "schema versioning" `Quick test_schema_versioning;
+        Alcotest.test_case "strict gates unknown fields" `Quick
+          test_strict_gates_unknown_fields;
         Alcotest.test_case "load file with comments" `Quick test_load_file;
         Alcotest.test_case "duplicate ids rejected" `Quick test_load_duplicate_ids;
         Alcotest.test_case "result stream deterministic" `Quick

@@ -41,9 +41,9 @@ let test_batch_completes () =
 let test_priority_ordering () =
   Pool.with_pool 1 (fun pool ->
       let started = ref [] in
-      let runner ~cancel ~pool cfg circuit =
-        started := circuit.Circuit.name :: !started;
-        Simulator.simulate ~cancel ~pool cfg circuit
+      let runner ~cancel ~pool (job : Sched.job) =
+        started := job.Sched.circuit.Circuit.name :: !started;
+        Simulator.simulate ~cancel ~pool job.Sched.config job.Sched.circuit
       in
       let mk id priority =
         let c = Suite.generate ~seed:1 Suite.Ghz ~n:5 in
@@ -98,10 +98,11 @@ let test_deadline_dmav_phase () =
 let test_retry_with_downgrade () =
   Pool.with_pool 1 (fun pool ->
       let attempts_seen = ref [] in
-      let runner ~cancel ~pool cfg circuit =
+      let runner ~cancel ~pool (job : Sched.job) =
+        let cfg = job.Sched.config in
         attempts_seen := cfg.Config.policy :: !attempts_seen;
         if cfg.Config.policy <> Config.Convert_at (-1) then failwith "injected dd blowup";
-        Simulator.simulate ~cancel ~pool cfg circuit
+        Simulator.simulate ~cancel ~pool cfg job.Sched.circuit
       in
       let c = Suite.generate ~seed:1 Suite.Ghz ~n:6 in
       let results =
@@ -147,9 +148,9 @@ let test_cancel_queued () =
 let test_cancel_running_pool_reusable () =
   Pool.with_pool 2 (fun pool ->
       let entered = Atomic.make false in
-      let runner ~cancel ~pool cfg circuit =
+      let runner ~cancel ~pool (job : Sched.job) =
         Atomic.set entered true;
-        Simulator.simulate ~cancel ~pool cfg circuit
+        Simulator.simulate ~cancel ~pool job.Sched.config job.Sched.circuit
       in
       let t = Sched.create ~runner ~pool ~slots:1 () in
       Fun.protect
@@ -224,6 +225,63 @@ let test_stress_matches_sequential () =
                      (outcome_label jr)))
         jobs results)
 
+(* interrupt: one atomic store cancels the whole batch — queued jobs
+   never start, the running one stops within a gate, and drain still
+   returns a result for every submitted job (the graceful-shutdown path
+   of flatdd_batch and flatdd_serve). *)
+let test_interrupt_cancels_batch () =
+  Pool.with_pool 2 (fun pool ->
+      let t = Sched.create ~paused:true ~pool ~slots:1 () in
+      Fun.protect
+        ~finally:(fun () -> Sched.shutdown t)
+        (fun () ->
+           let circuit = Suite.generate ~seed:3 Suite.Qft ~n:10 in
+           for i = 0 to 3 do
+             Sched.submit t (Sched.job ~id:(Printf.sprintf "j%d" i) circuit)
+           done;
+           Alcotest.(check bool) "not interrupted yet" false (Sched.interrupted t);
+           Sched.interrupt t;
+           Sched.start t;
+           let results = Sched.drain t in
+           Alcotest.(check int) "every job resolved" 4 (List.length results);
+           List.iter
+             (fun jr ->
+                Alcotest.(check string) "interrupted jobs cancel"
+                  "cancelled" (Sched.outcome_name jr.Sched.outcome))
+             results))
+
+let test_interrupt_mid_run () =
+  Pool.with_pool 2 (fun pool ->
+      let started = Atomic.make false in
+      (* A runner that signals dispatch, then cooperatively polls like the
+         simulator does — the interrupt must land through the poll. *)
+      let runner ~cancel ~pool:_ (_ : Sched.job) =
+        Atomic.set started true;
+        let rec spin n =
+          if cancel () then raise Simulator.Cancelled
+          else if n = 0 then Alcotest.fail "interrupt never reached the poll"
+          else begin
+            Thread.delay 0.002;
+            spin (n - 1)
+          end
+        in
+        spin 5000
+      in
+      let t = Sched.create ~runner ~pool ~slots:1 () in
+      Fun.protect
+        ~finally:(fun () -> Sched.shutdown t)
+        (fun () ->
+           Sched.submit t (Sched.job ~id:"long" (Suite.generate ~seed:1 Suite.Ghz ~n:4));
+           while not (Atomic.get started) do
+             Thread.delay 0.001
+           done;
+           Sched.interrupt t;
+           match Sched.drain t with
+           | [ jr ] ->
+             Alcotest.(check string) "running job cancelled" "cancelled"
+               (Sched.outcome_name jr.Sched.outcome)
+           | results -> Alcotest.failf "expected 1 result, got %d" (List.length results)))
+
 let suite =
   [ ( "sched",
       [ Alcotest.test_case "simulate honors cancel" `Quick test_simulate_cancel_raises;
@@ -238,5 +296,8 @@ let suite =
         Alcotest.test_case "cancel running job, pool reusable" `Quick
           test_cancel_running_pool_reusable;
         Alcotest.test_case "duplicate id rejected" `Quick test_duplicate_id_rejected;
+        Alcotest.test_case "interrupt cancels whole batch" `Quick
+          test_interrupt_cancels_batch;
+        Alcotest.test_case "interrupt lands mid-run" `Quick test_interrupt_mid_run;
         Alcotest.test_case "50-job stress matches sequential" `Slow
           test_stress_matches_sequential ] ) ]
