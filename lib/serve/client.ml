@@ -4,8 +4,9 @@
    Determinism lives here, not in the daemon: the client parses the
    manifest locally (same code path as flatdd_batch), which fixes every
    job's id and splitmix-derived seed by physical line index, then ships
-   each line with "id" and "seed" pinned and any relative "qasm" path
-   absolutized. The daemon therefore computes the same bytes regardless
+   each line with "id", "seed" and the effective "dd_domains" pinned and
+   any relative "qasm" path absolutized against the manifest directory.
+   The daemon therefore computes the same bytes regardless
    of how many other clients' jobs interleave with ours — and a journal
    replay after a crash reuses the very same pinned lines. *)
 
@@ -99,9 +100,22 @@ let pin_line ~dir ?tenant (r : Manifest.resolved) raw =
   let kvs =
     match List.assoc_opt "qasm" kvs with
     | Some (Jstr path) when Filename.is_relative path ->
-      let abs = Filename.concat (Filename.concat (Sys.getcwd ()) dir) path in
-      Protocol.set_field kvs "qasm" (Jstr abs)
+      (* Filename.concat does not special-case an absolute [dir], so only
+         prefix the cwd when the manifest directory itself is relative. *)
+      let base =
+        if Filename.is_relative dir then Filename.concat (Sys.getcwd ()) dir else dir
+      in
+      Protocol.set_field kvs "qasm" (Jstr (Filename.concat base path))
     | _ -> kvs
+  in
+  (* Config defaults that exist only client-side (--dd-domains) ride the
+     wire as an explicit field, so the daemon's own defaults never
+     silently override what this client's flags resolved to. *)
+  let kvs =
+    if List.mem_assoc "dd_domains" kvs then kvs
+    else
+      Protocol.set_field kvs "dd_domains"
+        (Jnum (string_of_int r.Manifest.job.Sched.config.Config.dd_domains))
   in
   let kvs =
     match tenant, List.assoc_opt "tenant" kvs with
@@ -119,20 +133,26 @@ let load_pinned ?default_config ?base_seed ?strict ?tenant path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-       let rec go index acc =
+       let rec go index acc seen =
          match input_line ic with
          | exception End_of_file -> List.rev acc
          | line ->
            let stripped = String.trim line in
-           if stripped = "" || stripped.[0] = '#' then go (index + 1) acc
+           if stripped = "" || stripped.[0] = '#' then go (index + 1) acc seen
            else begin
              let r =
                Manifest.parse_line ?default_config ?base_seed ?strict ~dir ~index stripped
              in
-             go (index + 1) ((r, pin_line ~dir ?tenant r stripped) :: acc)
+             let id = r.Manifest.job.Sched.id in
+             (* Same check (and message) as Manifest.load: a duplicate id
+                would otherwise reach the daemon, run once, and map both
+                manifest entries to the first job's result line. *)
+             if List.mem id seen then
+               failf "manifest line %d: duplicate job id %S" (index + 1) id;
+             go (index + 1) ((r, pin_line ~dir ?tenant r stripped) :: acc) (id :: seen)
            end
        in
-       go 0 [])
+       go 0 [] [])
 
 let run_manifest ?default_config ?base_seed ?strict ?tenant ?(timings = true)
     ?(retry_for = 0.0) ~socket_path path =

@@ -31,9 +31,23 @@ val read_frame : connection -> Protocol.frame
 val close : connection -> unit
 
 val pin_line : dir:string -> ?tenant:string -> Manifest.resolved -> string -> string
-(** [pin_line ~dir r raw] bakes [r]'s id and seed (and [tenant], when
-    given and absent from the line) into the raw manifest line and
-    absolutizes a relative qasm path against [dir]. *)
+(** [pin_line ~dir r raw] bakes [r]'s id, seed and effective [dd_domains]
+    (and [tenant], when given and absent from the line) into the raw
+    manifest line and absolutizes a relative qasm path against [dir]
+    (prefixing the cwd only when [dir] itself is relative). *)
+
+val load_pinned :
+  ?default_config:Config.t ->
+  ?base_seed:int ->
+  ?strict:bool ->
+  ?tenant:string ->
+  string ->
+  (Manifest.resolved * string) list
+(** Parses a manifest file exactly as [Manifest.load] would — physical
+    line indices, blank/comment skipping, the same duplicate-id error —
+    and returns each resolved job with its {!pin_line}d wire line.
+    @raise Error (line-numbered) on a duplicate job id;
+    [Manifest.Error] on a line that does not parse. *)
 
 val run_manifest :
   ?default_config:Config.t ->

@@ -4,10 +4,12 @@
 
    Concurrency shape: one mutex ([t.mutex]) guards every piece of shared
    daemon state (DRR queues, journal, owner/handle tables, inflight
-   count). Readers and scheduler runner domains both funnel through it;
-   per-connection writes are serialized by the connection's own mutex,
-   always acquired UNDER the daemon mutex (lock order: t.mutex →
-   conn.mutex → warm/sched internals), never the other way.
+   count). Readers and scheduler runner domains both funnel through it.
+   Socket I/O never happens under it: [send] only enqueues the rendered
+   frame under the connection's own mutex (lock order: t.mutex →
+   conn.mutex, never the other way) and each connection's writer thread
+   drains the queue with no locks held — a client that stops reading
+   backs up its own queue, never the daemon's admission or delivery.
 
    Determinism: jobs execute with journal-pinned ids and seeds, gated
    into the scheduler one slot at a time ([inflight < slots]) so the DRR
@@ -54,6 +56,8 @@ type conn = {
   c_fd : Unix.file_descr;
   c_oc : out_channel;
   c_mutex : Mutex.t;
+  c_cond : Condition.t;       (* wakes the writer: queue grew or conn died *)
+  c_outq : string Queue.t;    (* rendered frames awaiting the writer thread *)
   mutable c_alive : bool;
   mutable c_timings : bool;   (* include *_s fields in delivered lines *)
   mutable c_metrics : bool;   (* stream a metrics delta after each result *)
@@ -95,20 +99,58 @@ let touch_uptime t =
 
 (* --- connection writes ------------------------------------------------- *)
 
-(* A send failure (client went away mid-stream) just kills the
-   connection; its jobs keep running and their results stay readable
-   through the journal. *)
+(* Flip a connection dead exactly once. The flipper closes the fd and
+   wakes the writer so it can exit; everyone else observes
+   [c_alive = false] and stands down. *)
+let kill conn =
+  Mutex.lock conn.c_mutex;
+  let was = conn.c_alive in
+  conn.c_alive <- false;
+  Condition.broadcast conn.c_cond;
+  Mutex.unlock conn.c_mutex;
+  if was then (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+
+(* Enqueue a frame for the connection's writer thread. Never touches the
+   socket: callers hold t.mutex, and a client that stops reading (full
+   socket buffer, blocked flush) must not be able to stall admission,
+   delivery or completion for every other tenant. *)
 let send conn frame =
   Mutex.lock conn.c_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.c_mutex)
-    (fun () ->
-       if conn.c_alive then
-         try
-           output_string conn.c_oc (Protocol.render_frame frame);
-           output_char conn.c_oc '\n';
-           flush conn.c_oc
-         with Sys_error _ | Unix.Unix_error _ -> conn.c_alive <- false)
+  if conn.c_alive then begin
+    Queue.push (Protocol.render_frame frame) conn.c_outq;
+    Condition.signal conn.c_cond
+  end;
+  Mutex.unlock conn.c_mutex
+
+(* Per-connection writer: drains the queue with no locks held. A write
+   failure (client went away mid-stream) just kills the connection; its
+   jobs keep running and their results stay readable through the
+   journal. *)
+let writer conn =
+  let rec loop () =
+    Mutex.lock conn.c_mutex;
+    while conn.c_alive && Queue.is_empty conn.c_outq do
+      Condition.wait conn.c_cond conn.c_mutex
+    done;
+    if not conn.c_alive then begin
+      Queue.clear conn.c_outq;
+      Mutex.unlock conn.c_mutex
+    end
+    else begin
+      let b = Buffer.create 256 in
+      while not (Queue.is_empty conn.c_outq) do
+        Buffer.add_string b (Queue.pop conn.c_outq);
+        Buffer.add_char b '\n'
+      done;
+      Mutex.unlock conn.c_mutex;
+      (try
+         output_string conn.c_oc (Buffer.contents b);
+         flush conn.c_oc
+       with Sys_error _ | Unix.Unix_error _ -> kill conn);
+      loop ()
+    end
+  in
+  loop ()
 
 (* --- admission --------------------------------------------------------- *)
 
@@ -162,7 +204,40 @@ let admit t conn line =
           | Some id -> id
           | None -> Printf.sprintf "job-%d" index
         in
+        (* The pinned rendering of THIS submission under a given seed:
+           stored on a fresh accept, and compared against the journal's
+           stored line on an id hit — replay and adoption are for the
+           same job only, never for whoever reuses the id next. *)
+        let pinned_with seed =
+          let kvs = Protocol.set_field kvs "id" (Obs.Metrics.Jstr id) in
+          let kvs =
+            Protocol.set_field kvs "seed" (Obs.Metrics.Jnum (string_of_int seed))
+          in
+          let kvs =
+            match List.assoc_opt "tenant" kvs, conn.c_tenant with
+            | None, Some tenant ->
+              Protocol.set_field kvs "tenant" (Obs.Metrics.Jstr tenant)
+            | _ -> kvs
+          in
+          Protocol.render_obj kvs
+        in
         match Journal.find t.journal id with
+        | Some e
+          when not
+                 (String.equal
+                    (pinned_with (Option.value (bare_seed kvs) ~default:e.Journal.e_seed))
+                    e.Journal.e_line) ->
+          (* Same id, different job line (payload, seed or tenant).
+             Auto-generated ids collide exactly like this — two un-id'd
+             manifests both pin job-0 — and replaying the stored result
+             would hand this submitter another job's bytes. *)
+          send conn
+            (Protocol.Rejected
+               { id = Some id;
+                 reason =
+                   Printf.sprintf
+                     "id %S is already bound to a different job line; give jobs \
+                      explicit distinct ids" id })
         | Some { Journal.e_state = Journal.Done result; e_seed; _ } ->
           (* Finished in this or a previous daemon life: replay the
              stored canonical line — exactly-once results over
@@ -194,17 +269,7 @@ let admit t conn line =
             | Some s -> s
             | None -> Rng.derive t.cfg.base_seed index
           in
-          let kvs = Protocol.set_field kvs "id" (Obs.Metrics.Jstr id) in
-          let kvs =
-            Protocol.set_field kvs "seed" (Obs.Metrics.Jnum (string_of_int seed))
-          in
-          let kvs =
-            match List.assoc_opt "tenant" kvs, conn.c_tenant with
-            | None, Some tenant ->
-              Protocol.set_field kvs "tenant" (Obs.Metrics.Jstr tenant)
-            | _ -> kvs
-          in
-          let pinned = Protocol.render_obj kvs in
+          let pinned = pinned_with seed in
           (match
              Manifest.parse_line ~default_config:t.cfg.default_config
                ~base_seed:t.cfg.base_seed ~strict:t.cfg.strict ~index pinned
@@ -325,16 +390,7 @@ let reader t conn =
       loop ()
   in
   loop ();
-  let was_alive =
-    Mutex.lock conn.c_mutex;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock conn.c_mutex)
-      (fun () ->
-         let was = conn.c_alive in
-         conn.c_alive <- false;
-         was)
-  in
-  if was_alive then (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  kill conn;
   logf t "conn %d closed (%d results delivered)" conn.c_id conn.c_delivered
 
 (* --- lifecycle --------------------------------------------------------- *)
@@ -417,6 +473,8 @@ let run t =
                    c_fd = fd;
                    c_oc = Unix.out_channel_of_descr fd;
                    c_mutex = Mutex.create ();
+                   c_cond = Condition.create ();
+                   c_outq = Queue.create ();
                    c_alive = true;
                    c_timings = true;
                    c_metrics = false;
@@ -429,6 +487,7 @@ let run t =
                t.conns <- c :: t.conns;
                c)
          in
+         ignore (Thread.create (fun () -> writer conn) ());
          ignore (Thread.create (fun () -> reader t conn) ()))
   done;
   (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -438,14 +497,7 @@ let run t =
   Sched.interrupt (sched t);
   Sched.shutdown (sched t);
   let conns = locked t (fun () -> t.conns) in
-  List.iter
-    (fun conn ->
-       Mutex.lock conn.c_mutex;
-       let was_alive = conn.c_alive in
-       conn.c_alive <- false;
-       Mutex.unlock conn.c_mutex;
-       if was_alive then try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
-    conns;
+  List.iter kill conns;
   Pool.shutdown t.pool;
   Warm.drop_all t.warm;
   touch_uptime t; (* final lifetime reading for a shutdown snapshot *)

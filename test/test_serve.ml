@@ -69,6 +69,73 @@ let test_set_field_pinning () =
     {|{"circuit":"qft","n":7,"epsilon":1.25,"id":"a"}|}
     (Protocol.render_obj kvs)
 
+(* --- client-side pinning ----------------------------------------------- *)
+
+let write_file_at path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let pinned_field pinned name =
+  match Obs.Metrics.parse_json pinned with
+  | Obs.Metrics.Jobj kvs ->
+    (match List.assoc_opt name kvs with
+     | Some (Obs.Metrics.Jstr s) -> s
+     | Some (Obs.Metrics.Jnum s) -> s
+     | _ -> Alcotest.failf "pinned line lacks %S: %s" name pinned)
+  | _ -> Alcotest.failf "pinned line is not an object: %s" pinned
+
+let test_pin_line_paths () =
+  in_temp_dir (fun dir ->
+      write_file_at (Filename.concat dir "mini.qasm")
+        "OPENQASM 2.0; qreg q[2]; h q[0]; cx q[0],q[1];\n";
+      let raw = {|{"id":"q","qasm":"mini.qasm","seed":5}|} in
+      (* Absolute manifest dir: the pinned path is dir/mini.qasm, NOT
+         cwd/dir/mini.qasm (Filename.concat does not special-case an
+         absolute dir — regression). *)
+      let r = Manifest.parse_line ~dir ~index:0 raw in
+      let pinned = Client.pin_line ~dir r raw in
+      Alcotest.(check string) "absolute dir absolutizes without a cwd prefix"
+        (Filename.concat dir "mini.qasm") (pinned_field pinned "qasm");
+      (* Relative manifest dir: prefixed by the cwd. *)
+      let cwd = Sys.getcwd () in
+      Sys.chdir dir;
+      Fun.protect
+        ~finally:(fun () -> Sys.chdir cwd)
+        (fun () ->
+           let r = Manifest.parse_line ~dir:"." ~index:0 raw in
+           let pinned = Client.pin_line ~dir:"." r raw in
+           Alcotest.(check string) "relative dir prefixed by cwd"
+             (Filename.concat (Filename.concat (Sys.getcwd ()) ".") "mini.qasm")
+             (pinned_field pinned "qasm")))
+
+let test_pin_line_dd_domains () =
+  (* A client-side --dd-domains default must ride the wire: the daemon
+     has no other way to learn it (regression: --connect silently ran
+     with the daemon's own default). *)
+  let default_config = { Config.default with Config.dd_domains = 3 } in
+  let raw = {|{"id":"d","circuit":"qft","n":4,"seed":2}|} in
+  let r = Manifest.parse_line ~default_config ~index:0 raw in
+  Alcotest.(check string) "client default pinned into the line" "3"
+    (pinned_field (Client.pin_line ~dir:"." r raw) "dd_domains");
+  (* An explicit per-line value wins and is left untouched. *)
+  let raw = {|{"id":"d","circuit":"qft","n":4,"seed":2,"dd_domains":2}|} in
+  let r = Manifest.parse_line ~default_config ~index:0 raw in
+  Alcotest.(check string) "explicit line value preserved" "2"
+    (pinned_field (Client.pin_line ~dir:"." r raw) "dd_domains")
+
+let test_load_pinned_duplicate_ids () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "dup.jsonl" in
+      write_file_at path
+        "{\"id\":\"same\",\"circuit\":\"qft\",\"n\":4}\n\
+         {\"id\":\"same\",\"circuit\":\"ghz\",\"n\":4}\n";
+      match Client.load_pinned path with
+      | exception Client.Error m ->
+        Alcotest.(check string) "same line-numbered error as Manifest.load"
+          {|manifest line 2: duplicate job id "same"|} m
+      | _ -> Alcotest.fail "duplicate ids must be rejected client-side")
+
 (* --- tenant DRR -------------------------------------------------------- *)
 
 let drain_order drr =
@@ -557,11 +624,77 @@ let test_e2e_disconnect_and_rejects () =
                     Alcotest.(check bool) "bad job rejected" true !got_reject;
                     Alcotest.(check bool) "orphan result replayed" true !got_result))))
 
+let test_e2e_id_collision_rejected () =
+  with_obs (fun () ->
+      in_temp_dir (fun dir ->
+          let socket_path = Filename.concat dir "d.sock" in
+          let daemon =
+            start_daemon
+              { Serve.default_config with
+                Serve.socket_path;
+                journal_path = Some (Filename.concat dir "j.jsonl");
+                slots = 1;
+                pool_threads = 1 }
+          in
+          Fun.protect
+            ~finally:(fun () -> stop_daemon daemon)
+            (fun () ->
+               let submit ~tenant line k =
+                 let c = Client.connect ~retry_for:5.0 ~socket_path () in
+                 Fun.protect
+                   ~finally:(fun () -> Client.close c)
+                   (fun () ->
+                      Client.send_request c
+                        (Protocol.Hello_req
+                           { timings = false; metrics = false; tenant = Some tenant });
+                      Client.send_request c (Protocol.Job line);
+                      Client.send_request c Protocol.End_req;
+                      k c)
+               in
+               (* Tenant a takes id "job-0" — exactly what an un-id'd
+                  manifest line pins client-side. *)
+               submit ~tenant:"a" {|{"id":"job-0","circuit":"qft","n":5,"seed":3}|}
+                 (fun c ->
+                    let rec drain saw =
+                      match Client.read_frame c with
+                      | Protocol.Bye _ -> saw
+                      | Protocol.Result _ -> drain true
+                      | _ -> drain saw
+                    in
+                    Alcotest.(check bool) "tenant a's job ran" true (drain false));
+               (* Tenant b reuses the id for a DIFFERENT job: must be
+                  rejected, not handed tenant a's stored bytes. *)
+               submit ~tenant:"b" {|{"id":"job-0","circuit":"ghz","n":5,"seed":3}|}
+                 (fun c ->
+                    let rec drain () =
+                      match Client.read_frame c with
+                      | Protocol.Rejected { id = Some "job-0"; _ } -> true
+                      | Protocol.Result _ | Protocol.Bye _ -> false
+                      | _ -> drain ()
+                    in
+                    Alcotest.(check bool) "colliding id rejected" true (drain ()));
+               (* The byte-identical resubmission still replays. *)
+               submit ~tenant:"a" {|{"id":"job-0","circuit":"qft","n":5,"seed":3}|}
+                 (fun c ->
+                    let rec drain () =
+                      match Client.read_frame c with
+                      | Protocol.Accepted { replay; _ } -> replay
+                      | Protocol.Rejected _ | Protocol.Bye _ -> false
+                      | _ -> drain ()
+                    in
+                    Alcotest.(check bool) "identical resubmission replays" true
+                      (drain ())))))
+
 let suite =
   [ ( "serve protocol",
       [ Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
         Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
         Alcotest.test_case "field pinning preserves bytes" `Quick test_set_field_pinning ] );
+    ( "serve client pinning",
+      [ Alcotest.test_case "qasm absolutization" `Quick test_pin_line_paths;
+        Alcotest.test_case "dd_domains rides the wire" `Quick test_pin_line_dd_domains;
+        Alcotest.test_case "duplicate ids rejected locally" `Quick
+          test_load_pinned_duplicate_ids ] );
     ( "serve tenant drr",
       [ Alcotest.test_case "interleaves tenants" `Quick test_drr_interleaves_tenants;
         Alcotest.test_case "weights by cost" `Quick test_drr_weights_by_cost;
@@ -581,4 +714,6 @@ let suite =
         Alcotest.test_case "restart adopts pending and replays done" `Slow
           test_e2e_restart_adopt_replay;
         Alcotest.test_case "disconnect, rejects and resubmission" `Slow
-          test_e2e_disconnect_and_rejects ] ) ]
+          test_e2e_disconnect_and_rejects;
+        Alcotest.test_case "id collision across tenants rejected" `Slow
+          test_e2e_id_collision_rejected ] ) ]
