@@ -27,6 +27,7 @@ let experiments =
     ("ddpar", Exp_ddpar.run);
     ("dispatch", Exp_dispatch.run);
     ("obs", Exp_obs.run);
+    ("order", Exp_order.run);
     ("sched", Exp_sched.run);
     ("serve", Exp_serve.run) ]
 

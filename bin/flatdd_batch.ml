@@ -71,14 +71,14 @@ let line_outcome line =
   | _ | (exception Obs.Metrics.Parse_error _) -> "unknown"
 
 let run manifest slots threads seed out no_timings strict verbose metrics metrics_json
-    dd_domains connect tenant =
+    dd_domains order connect tenant =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
       Obs.set_enabled true;
       Obs.Metrics.reset ()
     end;
-    let default_config = { Config.default with Config.dd_domains } in
+    let default_config = { Config.default with Config.dd_domains; order } in
     let text, outcomes, interrupted =
       match connect with
       | Some socket_path ->
@@ -191,6 +191,22 @@ let cmd =
              ~doc:"Default DD-phase domain count for every job (a job's own \
                    $(i,dd_domains) manifest field overrides it).")
   in
+  let order =
+    let order_c =
+      let parse s =
+        match Config.order_of_name s with
+        | Some o -> Ok o
+        | None -> Error (`Msg "order is none | static | sift")
+      in
+      let print fmt o = Format.pp_print_string fmt (Config.order_name o) in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt order_c Config.No_order
+         & info [ "order" ]
+             ~doc:"Default qubit-order policy — none, static or sift — for \
+                   every job (a job's own $(i,order) manifest field overrides \
+                   it). Fingerprints are logical-basis and order-invariant.")
+  in
   let connect =
     Arg.(value & opt (some string) None
          & info [ "connect" ] ~docv:"SOCKET"
@@ -203,7 +219,7 @@ let cmd =
   in
   let term =
     Term.(const run $ manifest $ slots $ threads $ seed $ out $ no_timings $ strict
-          $ verbose $ metrics $ metrics_json $ dd_domains $ connect $ tenant)
+          $ verbose $ metrics $ metrics_json $ dd_domains $ order $ connect $ tenant)
   in
   Cmd.v
     (Cmd.info "flatdd_batch"

@@ -37,6 +37,15 @@ let fusion_conv =
   in
   Arg.conv (parse, print)
 
+let order_conv =
+  let parse s =
+    match Config.order_of_name s with
+    | Some o -> Ok o
+    | None -> Error (`Msg "order is none | static | sift")
+  in
+  let print fmt o = Format.pp_print_string fmt (Config.order_name o) in
+  Arg.conv (parse, print)
+
 let load_circuit ~name ~qasm ~n ~gates ~seed =
   match qasm with
   | Some path ->
@@ -66,7 +75,7 @@ let print_top_amplitudes buf count =
   done
 
 let run engine family qasm n gates seed threads beta epsilon fusion dispatch trace top
-    export metrics metrics_json compact_every dd_domains dd_task_depth =
+    export metrics metrics_json compact_every dd_domains dd_task_depth order =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
@@ -84,16 +93,22 @@ let run engine family qasm n gates seed threads beta epsilon fusion dispatch tra
           Printf.printf "exported OpenQASM to %s\n" path
         with Qasm_export.Unsupported m ->
           Printf.eprintf "cannot export: %s\n" m));
+    if order <> Config.No_order && engine <> Flatdd_engine then
+      Printf.eprintf
+        "note: --order only applies to the flatdd engine; ignored here\n%!";
     (match engine with
      | Flatdd_engine ->
        let cfg =
          { Config.default with
            Config.threads; beta; epsilon; fusion; trace; dense_dispatch = dispatch;
-           dd_domains; dd_task_depth }
+           dd_domains; dd_task_depth; order }
        in
        let r, dt = Timer.time (fun () -> Simulator.simulate cfg circuit) in
        Printf.printf "engine: flatdd (%d threads, %d dd domains, beta=%.2f eps=%.2f)\n"
          threads dd_domains beta epsilon;
+       (match order with
+        | Config.No_order -> ()
+        | o -> Printf.printf "order: %s\n" (Config.order_name o));
        Printf.printf "runtime: %.4f s  (dd %.4f | convert %.4f | dmav %.4f)\n" dt
          r.Simulator.seconds_dd r.Simulator.seconds_convert r.Simulator.seconds_dmav;
        (match r.Simulator.converted_at with
@@ -250,10 +265,19 @@ let cmd =
              ~doc:"Recursion depth at which the parallel DD apply splits into \
                    tasks (0 = auto from the domain count).")
   in
+  let order =
+    Arg.(value & opt order_conv Config.No_order
+         & info [ "order" ]
+             ~doc:"Qubit-order policy (flatdd engine): none keeps the circuit \
+                   order, static runs the interaction-graph scoring pass before \
+                   simulation, sift additionally reorders DD levels in place \
+                   when the EWMA policy would otherwise convert. Results are \
+                   always reported in the circuit's own (logical) basis.")
+  in
   let term =
     Term.(const run $ engine $ family $ qasm $ n $ gates $ seed $ threads $ beta
           $ epsilon $ fusion $ dispatch $ trace $ top $ export $ metrics $ metrics_json
-          $ compact_every $ dd_domains $ dd_task_depth)
+          $ compact_every $ dd_domains $ dd_task_depth $ order)
   in
   Cmd.v (Cmd.info "flatdd" ~doc:"Hybrid decision-diagram / flat-array quantum circuit simulator") term
 

@@ -9,7 +9,8 @@
 
 open Cmdliner
 
-let run socket slots threads seed journal quantum quota warm strict quiet metrics_json =
+let run socket slots threads seed journal journal_tail quantum quota warm strict quiet
+    metrics_json =
   Obs.set_enabled true;
   let log m = if not quiet then Printf.eprintf "flatdd_serve: %s\n%!" m in
   let cfg =
@@ -19,6 +20,7 @@ let run socket slots threads seed journal quantum quota warm strict quiet metric
       pool_threads = threads;
       base_seed = seed;
       journal_path = journal;
+      journal_tail;
       quantum;
       quota;
       warm_capacity = warm;
@@ -66,6 +68,11 @@ let cmd =
          & info [ "journal" ] ~docv:"FILE"
              ~doc:"Checkpoint file for accepted jobs (atomic rewrite on every change); restart resumes from it. Omit to disable durability.")
   in
+  let journal_tail =
+    Arg.(value & opt int 1024
+         & info [ "journal-tail" ] ~docv:"N"
+             ~doc:"Completed entries retained in the journal beyond the pending set; older done entries are compacted away (their ids re-run deterministically on resubmit). Also bounds in-memory state when --journal is omitted.")
+  in
   let quantum =
     Arg.(value & opt int 64
          & info [ "quantum" ] ~doc:"Deficit-round-robin quantum, in gates per tenant visit.")
@@ -89,8 +96,8 @@ let cmd =
              ~doc:"Write the process-lifetime qcs_obs metrics snapshot to $(docv) on shutdown.")
   in
   let term =
-    Term.(const run $ socket $ slots $ threads $ seed $ journal $ quantum $ quota $ warm
-          $ strict $ quiet $ metrics_json)
+    Term.(const run $ socket $ slots $ threads $ seed $ journal $ journal_tail $ quantum
+          $ quota $ warm $ strict $ quiet $ metrics_json)
   in
   Cmd.v
     (Cmd.info "flatdd_serve"

@@ -8,6 +8,27 @@ type conversion_policy =
   | Convert_at of int
   | Never_convert
 
+(* Qubit-order policy (ISSUE 8). [No_order] keeps the identity order —
+   every fingerprint byte-identical to the pre-order codebase. [Static_order]
+   runs Order.static_order once before simulation. [Sift_order] adds the
+   dynamic in-arena sifting pass, attempted when the EWMA policy would
+   otherwise convert to the flat array. *)
+type order_mode =
+  | No_order
+  | Static_order
+  | Sift_order
+
+let order_name = function
+  | No_order -> "none"
+  | Static_order -> "static"
+  | Sift_order -> "sift"
+
+let order_of_name = function
+  | "none" -> Some No_order
+  | "static" -> Some Static_order
+  | "sift" -> Some Sift_order
+  | _ -> None
+
 type t = {
   threads : int;
   beta : float;
@@ -20,6 +41,7 @@ type t = {
   dense_dispatch : bool;
   dd_domains : int;
   dd_task_depth : int;
+  order : order_mode;
 }
 
 let default =
@@ -33,7 +55,8 @@ let default =
     trace = false;
     dense_dispatch = false;
     dd_domains = 1;
-    dd_task_depth = 0 }
+    dd_task_depth = 0;
+    order = No_order }
 
 let with_threads threads t = { t with threads }
 let with_dd_domains dd_domains t = { t with dd_domains }

@@ -10,6 +10,16 @@ type conversion_policy =
   | Convert_at of int     (** unconditionally convert after this gate index *)
   | Never_convert         (** stay in DD simulation (ablation / baseline) *)
 
+type order_mode =
+  | No_order      (** identity qubit order — byte-identical legacy behavior *)
+  | Static_order  (** pre-simulation interaction-graph scoring pass *)
+  | Sift_order    (** static pass + in-arena sifting when EWMA would convert *)
+
+val order_name : order_mode -> string
+(** ["none"] / ["static"] / ["sift"] — the CLI/manifest spelling. *)
+
+val order_of_name : string -> order_mode option
+
 type t = {
   threads : int;          (** total worker parallelism (≥ 1) *)
   beta : float;           (** EWMA smoothing, paper uses 0.9 *)
@@ -32,11 +42,15 @@ type t = {
   dd_task_depth : int;
   (** Recursion depth at which the parallel DD apply splits into tasks.
       0 (the default) picks automatically from [dd_domains]. *)
+  order : order_mode;
+  (** Qubit-order policy (`--order`). Results are always reported in the
+      logical basis regardless of this setting. *)
 }
 
 val default : t
 (** 1 thread, β = 0.9, ε = 2.0, d = 4, no fusion, EWMA policy,
-    compaction every 64 gates, no trace, no dense dispatch, 1 DD domain. *)
+    compaction every 64 gates, no trace, no dense dispatch, 1 DD domain,
+    no order optimization. *)
 
 val with_threads : int -> t -> t
 val with_dd_domains : int -> t -> t

@@ -25,6 +25,7 @@ type result = {
   dmav_cache_hits : int;
   modeled_macs : float;
   fusion_stats : Fusion.stats option;
+  order : int array option;
 }
 
 (* Per-phase spans: the global metrics accumulate across runs, while each
@@ -38,6 +39,8 @@ let c_gates = Obs.counter "sim.gates"
 let c_dd_gates = Obs.counter "sim.gates_dd"
 let c_dmav_gates = Obs.counter "sim.gates_dmav"
 let c_conversions = Obs.counter "sim.conversions"
+let s_order_score = Obs.span "order.score"
+let c_order_static = Obs.counter "order.static.applied"
 
 (* Flat-phase kernel dispatch, by outcome. Without [dense_dispatch] the
    cached/uncached counts mirror dmav.kernel.*; with it they reflect the
@@ -109,6 +112,57 @@ let flat_plan (ctx : Engine.ctx) ~n ~first_index ops =
   in
   (exec, !fusion_stats)
 
+(* --- qubit-order plumbing (ISSUE 8) -------------------------------- *)
+
+(* Remap one op through [m] (register qubit -> physical position). Used
+   for the gates applied after a dynamic sift moved levels around; the
+   static order goes through [Circuit.remap] up front instead. *)
+let map_op m = function
+  | Circuit.Single { name; matrix; target; controls } ->
+    Circuit.Single
+      { name; matrix; target = m.(target); controls = List.map (Array.get m) controls }
+  | Circuit.Two { name; matrix; q_hi; q_lo } ->
+    Circuit.Two { name; matrix; q_hi = m.(q_hi); q_lo = m.(q_lo) }
+
+(* Physical amplitude index of logical basis state [i]: bit [q] of [i]
+   lands at bit position [ord.(q)]. Index 0 is a fixed point of every
+   order, which is why `--order none` fingerprints stay byte-identical. *)
+let phys_index ord i =
+  let k = ref 0 in
+  Array.iteri (fun q p -> k := !k lor (((i lsr q) land 1) lsl p)) ord;
+  !k
+
+(* The pre-simulation scoring pass: remap the circuit when the mode asks
+   for it and the scored order strictly beats the identity. Returns the
+   (possibly remapped) circuit plus the applied order
+   (logical qubit -> register position). *)
+let prepare_order (cfg : Config.t) (c : Circuit.t) =
+  match cfg.Config.order with
+  | Config.No_order -> (c, None)
+  | Config.Static_order | Config.Sift_order ->
+    let o, _ = Obs.timed s_order_score (fun () -> Order.static_order c) in
+    if Order.is_identity o then (c, None)
+    else begin
+      Obs.incr c_order_static;
+      let sigma = Order.to_array o in
+      (Circuit.remap c ~n:c.Circuit.n sigma, Some sigma)
+    end
+
+(* Total order = static remap then dynamic sift moves:
+   logical qubit [q] lives at physical position [cur.(sigma.(q))]. *)
+let total_order sigma cur =
+  match sigma, cur with
+  | None, None -> None
+  | Some s, None -> Some (Array.copy s)
+  | None, Some m -> Some (Array.copy m)
+  | Some s, Some m -> Some (Array.map (fun r -> m.(r)) s)
+
+(* Permute a physical-order flat buffer into the logical basis. *)
+let logicalize ord buf =
+  match ord with
+  | None -> buf
+  | Some ord -> Buf.init (Buf.length buf) (fun i -> Buf.get buf (phys_index ord i))
+
 (* Mutable per-run accounting shared by the hybrid run and [run_engine]. *)
 type acc = {
   trace : Engine.gate_record list ref;
@@ -172,6 +226,12 @@ let run ?cancel ?pool ?package ?workspace (cfg : Config.t) (c : Circuit.t) =
     (fun () ->
        Obs.incr c_runs;
        Obs.add c_gates gates;
+       let c, sigma = prepare_order cfg c in
+       (* [cur]: register qubit -> current DD level, once sifting has
+          moved levels; [None] while the order is still the register
+          order. Gates applied after a sift are remapped through it. *)
+       let cur = ref None in
+       let sift_attempts = ref 0 in
        let ctx = make_ctx ?package ?workspace cfg ~pool ~n in
        let monitor = Ewma.create ~beta:cfg.Config.beta ~epsilon:cfg.Config.epsilon in
        let acc = make_acc cfg in
@@ -188,7 +248,9 @@ let run ?cancel ?pool ?package ?workspace (cfg : Config.t) (c : Circuit.t) =
          Obs.timed s_dd_phase (fun () ->
              while !i < gates && not !want_convert do
                check_cancel ();
-               let xo = Engine.exec_of_op !i c.Circuit.ops.(!i) in
+               let op = c.Circuit.ops.(!i) in
+               let op = match !cur with None -> op | Some m -> map_op m op in
+               let xo = Engine.exec_of_op !i op in
                let _stats, dt = Timer.time (fun () -> Dd_engine.apply_op dd xo) in
                let size = Dd_engine.size_metric dd in
                let verdict = Ewma.observe monitor (float_of_int size) in
@@ -200,6 +262,41 @@ let run ?cancel ?pool ?package ?workspace (cfg : Config.t) (c : Circuit.t) =
                  { Engine.index = !i; name = xo.Engine.xo_name; seconds = dt;
                    phase = Engine.Dd_phase; dd_size = size; ewma = Ewma.value monitor;
                    cached = None; dispatch = None };
+               (* Dynamic sifting: when the EWMA verdict says convert,
+                  try shrinking the DD by reordering levels first — a
+                  substantial shrink keeps the run in the cheap DD
+                  phase. Bounded attempts; whatever swaps the pass kept
+                  are folded into [cur] either way, since the arena's
+                  levels really moved. *)
+               if !want_convert
+                  && cfg.Config.order = Config.Sift_order
+                  && cfg.Config.policy = Config.Ewma_policy
+                  && !sift_attempts < 2 && size >= 16
+               then begin
+                 incr sift_attempts;
+                 Dd_engine.compact dd;
+                 let pkg = Dd_engine.package dd in
+                 let perm, before, after =
+                   Dd.sift_pass pkg ~root:(Dd_engine.edge dd) ~levels:n
+                 in
+                 let perm_id = ref true in
+                 Array.iteri (fun l p -> if l <> p then perm_id := false) perm;
+                 if not !perm_id then
+                   cur :=
+                     Some
+                       (match !cur with
+                        | None -> perm
+                        | Some m -> Array.map (fun l -> perm.(l)) m);
+                 Dd_engine.compact dd;
+                 (* Only a real shrink moves the conversion-cost needle;
+                    otherwise fall through to the flat array as before. *)
+                 if 10 * after <= 7 * before then begin
+                   want_convert := false;
+                   ignore
+                     (Ewma.observe monitor
+                        (float_of_int (Dd_engine.size_metric dd)))
+                 end
+               end;
                if cfg.Config.compact_every > 0 && (!i + 1) mod cfg.Config.compact_every = 0
                then begin
                  acc.bump_mem (Dd_engine.memory_bytes dd);
@@ -253,6 +350,11 @@ let run ?cancel ?pool ?package ?workspace (cfg : Config.t) (c : Circuit.t) =
                  let remaining =
                    Array.to_list (Array.sub c.Circuit.ops !i (gates - !i))
                  in
+                 let remaining =
+                   match !cur with
+                   | None -> remaining
+                   | Some m -> List.map (map_op m) remaining
+                 in
                  let plan, fstats = flat_plan ctx ~n ~first_index:!i remaining in
                  fusion_stats := fstats;
                  Obs.add c_dmav_gates (List.length plan);
@@ -280,9 +382,18 @@ let run ?cancel ?pool ?package ?workspace (cfg : Config.t) (c : Circuit.t) =
          | Some f -> f
          | None -> Dd_engine.extract dd
        in
+       (* Results are always logical-basis: flat buffers are permuted
+          here; a final DD state stays physical and carries its order. *)
+       let ord = total_order sigma !cur in
+       let final, order =
+         match final with
+         | Engine.Flat_state buf -> (Engine.Flat_state (logicalize ord buf), None)
+         | Engine.Dd_state _ as f -> (f, ord)
+       in
        { n;
          gates;
          final;
+         order;
          converted_at = !converted_at;
          seconds_total = seconds_dd +. seconds_convert +. seconds_dmav;
          seconds_dd;
@@ -314,6 +425,9 @@ let run_engine (type s) ?cancel ?pool ?package ?workspace
     (fun () ->
        Obs.incr c_runs;
        Obs.add c_gates gates;
+       (* Static order only: the single-engine paths have no conversion
+          decision, hence no sifting trigger. *)
+       let c, sigma = prepare_order cfg c in
        let ctx = make_ctx ?package ?workspace cfg ~pool ~n in
        let monitor = Ewma.create ~beta:cfg.Config.beta ~epsilon:cfg.Config.epsilon in
        ignore (Ewma.observe monitor (float_of_int n));
@@ -347,9 +461,15 @@ let run_engine (type s) ?cancel ?pool ?package ?workspace
        let final = E.extract st in
        E.finalize st;
        let dd_phase = E.trace_phase = Engine.Dd_phase in
+       let final, order =
+         match final with
+         | Engine.Flat_state buf -> (Engine.Flat_state (logicalize sigma buf), None)
+         | Engine.Dd_state _ as f -> (f, sigma)
+       in
        { n;
          gates;
          final;
+         order;
          converted_at = None;
          seconds_total = seconds;
          seconds_dd = (if dd_phase then seconds else 0.0);
@@ -367,4 +487,12 @@ let run_engine (type s) ?cancel ?pool ?package ?workspace
 let amplitudes r =
   match r.final with
   | Engine.Flat_state buf -> buf
-  | Engine.Dd_state { package; edge } -> Convert.sequential package ~n:r.n edge
+  | Engine.Dd_state { package; edge } ->
+    logicalize r.order (Convert.sequential package ~n:r.n edge)
+
+let amplitude r i =
+  match r.final with
+  | Engine.Flat_state buf -> Buf.get buf i
+  | Engine.Dd_state { package; edge } ->
+    let j = match r.order with None -> i | Some ord -> phys_index ord i in
+    Dd.vamplitude package edge j

@@ -32,6 +32,14 @@ type result = {
   dmav_cache_hits : int;
   modeled_macs : float;       (** Σ modeled MAC work over the flat phase *)
   fusion_stats : Fusion.stats option;
+  order : int array option;
+      (** Physical qubit order of [final] when it is a [Dd_state]:
+          logical qubit [q] lives at DD level [order.(q)]. Flat buffers
+          are always permuted back to the logical basis before the
+          result is built, so this is [None] for every [Flat_state] and
+          whenever the order is the identity. Use {!amplitudes} /
+          {!amplitude} and never index a DD state manually when an
+          order is set. *)
 }
 
 val run :
@@ -68,5 +76,11 @@ val run_engine :
     through the §3.2.3 cached/uncached cost model only. *)
 
 val amplitudes : result -> Buf.t
-(** Final amplitudes as a flat vector (converts sequentially if the run
-    ended in DD form). *)
+(** Final amplitudes as a flat vector in the {e logical} basis,
+    whatever internal qubit order the run used (converts sequentially
+    if the run ended in DD form). *)
+
+val amplitude : result -> int -> Cnum.t
+(** Single logical-basis amplitude: O(1) on a flat result, an O(n) DD
+    walk otherwise — no 2ⁿ materialization. [amplitude r 0] is the p0
+    fingerprint source. *)

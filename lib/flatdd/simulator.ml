@@ -40,6 +40,7 @@ type result = Driver.result = {
   dmav_cache_hits : int;
   modeled_macs : float;
   fusion_stats : Fusion.stats option;
+  order : int array option;
 }
 
 let memory_bytes_flat = Engine.memory_bytes_flat
@@ -48,3 +49,4 @@ let simulate ?cancel ?pool (cfg : Config.t) (c : Circuit.t) =
   Driver.run ?cancel ?pool cfg c
 
 let amplitudes = Driver.amplitudes
+let amplitude = Driver.amplitude

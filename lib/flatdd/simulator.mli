@@ -54,6 +54,10 @@ type result = Driver.result = {
   dmav_cache_hits : int;
   modeled_macs : float;       (** Σ modeled MAC work over the DMAV phase *)
   fusion_stats : Fusion.stats option;
+  order : int array option;
+      (** Physical qubit order of a [Dd_state] result (logical qubit [q]
+          at DD level [order.(q)]); [None] for flat results, which are
+          always permuted back to the logical basis by the driver. *)
 }
 
 val simulate : ?cancel:(unit -> bool) -> ?pool:Pool.t -> Config.t -> Circuit.t -> result
@@ -68,8 +72,12 @@ val simulate : ?cancel:(unit -> bool) -> ?pool:Pool.t -> Config.t -> Circuit.t -
     and a supplied pool stays reusable. *)
 
 val amplitudes : result -> Buf.t
-(** Final amplitudes as a flat vector (converts sequentially if the run
-    ended in DD form). *)
+(** Final amplitudes as a flat vector in the logical basis (converts
+    sequentially if the run ended in DD form). *)
+
+val amplitude : result -> int -> Cnum.t
+(** One logical-basis amplitude: O(1) on a flat result, an O(n) DD walk
+    otherwise. The batch p0 fingerprint is [amplitude r 0]. *)
 
 val memory_bytes_flat : int -> buffers:int -> int
 (** Modeled bytes of the DMAV phase for an [n]-qubit run: V, W and the

@@ -44,7 +44,7 @@ let float_field ~where kvs name =
 let known_fields =
   [ "schema"; "id"; "tenant"; "circuit"; "qasm"; "n"; "gates"; "seed"; "priority";
     "deadline_s"; "max_retries"; "beta"; "epsilon"; "compact_every"; "fusion";
-    "policy"; "dd_domains" ]
+    "policy"; "dd_domains"; "order" ]
 
 let schema = "qcs_sched/v1"
 let schema_prefix = "qcs_sched/v"
@@ -158,6 +158,13 @@ let parse_line ?(default_config = Config.default) ?(base_seed = 1) ?(dir = ".")
       | Some d -> failf "%s: dd_domains must be >= 1 (got %d)" where d
       | None -> cfg
     in
+    let cfg =
+      match field kvs "order" with
+      | None -> cfg
+      | Some (Jstr s) when Config.order_of_name s <> None ->
+        { cfg with Config.order = Option.get (Config.order_of_name s) }
+      | Some _ -> failf "%s: order is \"none\" | \"static\" | \"sift\"" where
+    in
     cfg
   in
   let priority = Option.value (int_field ~where kvs "priority") ~default:0 in
@@ -196,10 +203,10 @@ let load ?default_config ?base_seed ?strict path =
 
 (* --- result stream ----------------------------------------------------- *)
 
-let p0_of result =
-  match result.Simulator.final with
-  | Simulator.Flat_state buf -> Cnum.norm2 (Buf.get buf 0)
-  | Simulator.Dd_state { package; edge } -> Cnum.norm2 (Dd.vamplitude package edge 0)
+(* Logical-basis p0. [Simulator.amplitude] walks the result's recorded
+   qubit order; index 0 is order-invariant, so `--order none` keeps the
+   exact bytes this produced before the order layer existed. *)
+let p0_of result = Cnum.norm2 (Simulator.amplitude result 0)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in

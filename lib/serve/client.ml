@@ -4,8 +4,9 @@
    Determinism lives here, not in the daemon: the client parses the
    manifest locally (same code path as flatdd_batch), which fixes every
    job's id and splitmix-derived seed by physical line index, then ships
-   each line with "id", "seed" and the effective "dd_domains" pinned and
-   any relative "qasm" path absolutized against the manifest directory.
+   each line with "id", "seed" and the effective "dd_domains"/"order"
+   pinned and any relative "qasm" path absolutized against the manifest
+   directory.
    The daemon therefore computes the same bytes regardless
    of how many other clients' jobs interleave with ours — and a journal
    replay after a crash reuses the very same pinned lines. *)
@@ -116,6 +117,12 @@ let pin_line ~dir ?tenant (r : Manifest.resolved) raw =
     else
       Protocol.set_field kvs "dd_domains"
         (Jnum (string_of_int r.Manifest.job.Sched.config.Config.dd_domains))
+  in
+  let kvs =
+    if List.mem_assoc "order" kvs then kvs
+    else
+      Protocol.set_field kvs "order"
+        (Jstr (Config.order_name r.Manifest.job.Sched.config.Config.order))
   in
   let kvs =
     match tenant, List.assoc_opt "tenant" kvs with

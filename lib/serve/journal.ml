@@ -17,10 +17,18 @@
 
    Every mutation rewrites the whole file through Obs.atomic_write_file
    (temp + rename), so a kill -9 at any instant leaves either the old or
-   the new complete journal — never a torn one. Full rewrite is O(jobs)
-   per accept/complete, which is fine at service scale (thousands of
-   lines, not millions); an appending format would need a recovery-time
-   torn-tail scan for the same guarantee. *)
+   the new complete journal — never a torn one. An appending format
+   would need a recovery-time torn-tail scan for the same guarantee.
+
+   To keep the rewrite from growing O(total jobs ever) in a long-lived
+   daemon, each mutation first compacts: every pending entry survives,
+   but only the newest [done_tail] completed entries are kept — so a
+   rewrite is O(pending + done_tail), a bound the daemon controls, not
+   the traffic. The tradeoff is explicit: a client resubmitting an id
+   whose done entry aged out of the tail re-runs the job (still
+   deterministic — the pinned line carries id and seed) instead of
+   replaying stored bytes. Pending entries are never dropped, so the
+   crash-recovery guarantee is untouched. *)
 
 exception Error of string
 
@@ -30,6 +38,8 @@ let journal_schema = "qcs_serve_journal/v1"
 
 let c_writes = Obs.counter "serve.journal.writes"
 let c_restored = Obs.counter "serve.journal.restored"
+let c_compactions = Obs.counter "serve.journal.compactions"
+let c_dropped = Obs.counter "serve.journal.dropped_done"
 
 type state = Pending | Done of string (* canonical result line *)
 
@@ -44,10 +54,41 @@ type entry = {
 type t = {
   path : string option; (* None = in-memory only (journaling disabled) *)
   base_seed : int;
+  done_tail : int; (* completed entries retained beyond the pending set *)
   mutable next_index : int; (* next fresh derivation index for accepted jobs *)
   mutable entries : entry list; (* reverse accept order *)
   by_id : (string, entry) Hashtbl.t;
 }
+
+(* Bound the done set: keep every pending entry plus the newest
+   [done_tail] completed ones, forgetting the rest (list and id table).
+   [t.entries] is newest-first, so a single filter keeps the right
+   tail. Runs before every flush — and also for in-memory journals,
+   where it is the only thing bounding the daemon's footprint. *)
+let compact t =
+  let kept_done = ref 0 and dropped = ref 0 in
+  let keep =
+    List.filter
+      (fun e ->
+         match e.e_state with
+         | Pending -> true
+         | Done _ ->
+           if !kept_done < t.done_tail then begin
+             incr kept_done;
+             true
+           end
+           else begin
+             incr dropped;
+             Hashtbl.remove t.by_id e.e_id;
+             false
+           end)
+      t.entries
+  in
+  if !dropped > 0 then begin
+    t.entries <- keep;
+    Obs.incr c_compactions;
+    Obs.add c_dropped !dropped
+  end
 
 (* --- rendering --------------------------------------------------------- *)
 
@@ -158,8 +199,12 @@ let load_file t path =
        in
        go 2)
 
-let create ?path ~base_seed () =
-  let t = { path; base_seed; next_index = 0; entries = []; by_id = Hashtbl.create 64 } in
+let create ?path ?(done_tail = 1024) ~base_seed () =
+  if done_tail < 0 then failf "journal: done_tail must be >= 0 (got %d)" done_tail;
+  let t =
+    { path; base_seed; done_tail; next_index = 0; entries = [];
+      by_id = Hashtbl.create 64 }
+  in
   (match path with
    | Some p when Sys.file_exists p -> load_file t p
    | _ -> ());
@@ -177,6 +222,7 @@ let accept t ~id ~tenant ~seed ~line =
   let e = { e_id = id; e_tenant = tenant; e_seed = seed; e_line = line; e_state = Pending } in
   t.entries <- e :: t.entries;
   Hashtbl.replace t.by_id id e;
+  compact t;
   flush t;
   e
 
@@ -185,6 +231,7 @@ let complete t ~id ~result =
   | None -> failf "journal: complete of unknown id %S" id
   | Some e ->
     e.e_state <- Done result;
+    compact t;
     flush t
 
 let find t id = Hashtbl.find_opt t.by_id id

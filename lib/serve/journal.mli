@@ -8,6 +8,13 @@
     re-runs every [Pending] entry and replays [Done] results verbatim,
     giving exactly-once results over at-least-once submission.
 
+    Each mutation first compacts the journal to every pending entry plus
+    a bounded tail of the newest completed ones, so the rewrite cost is
+    O(pending + done_tail) instead of O(jobs ever accepted). A resubmit
+    of an id older than the tail re-runs its pinned line (same bytes)
+    rather than replaying the stored result; pending entries are never
+    dropped.
+
     Not internally synchronized; the serve core's mutex guards it. *)
 
 exception Error of string
@@ -24,12 +31,15 @@ type entry = {
 
 type t
 
-val create : ?path:string -> base_seed:int -> unit -> t
+val create : ?path:string -> ?done_tail:int -> base_seed:int -> unit -> t
 (** Opens (and replays) [path] if it exists; without [path] the journal
-    is memory-only (durability off, same API). Restored entries count
-    [serve.journal.restored].
+    is memory-only (durability off, same API — the done-tail bound then
+    caps the daemon's memory instead of the file). Restored entries
+    count [serve.journal.restored]; [done_tail] (default 1024, [>= 0])
+    bounds how many completed entries are retained, counted by
+    [serve.journal.compactions] / [serve.journal.dropped_done].
     @raise Error if an existing file is malformed or was written with a
-    different [base_seed]. *)
+    different [base_seed], or if [done_tail < 0]. *)
 
 val take_index : t -> int
 (** Allocate the next derivation index for a fresh accept (monotonic
@@ -52,7 +62,10 @@ val pending : t -> entry list
 (** Pending entries, in accept order. *)
 
 val done_results : t -> (string * string) list
-(** [(id, canonical result line)] for done entries, in accept order. *)
+(** [(id, canonical result line)] for retained done entries, in accept
+    order (entries beyond the done-tail have been compacted away). *)
 
 val size : t -> int
+(** Retained entries (pending + done-tail), not total ever accepted. *)
+
 val base_seed : t -> int

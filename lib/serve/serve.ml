@@ -30,6 +30,7 @@ type config = {
   pool_threads : int;     (* shared data-parallel pool size *)
   base_seed : int;
   journal_path : string option;
+  journal_tail : int;     (* completed journal entries retained *)
   quantum : int;          (* DRR quantum, in gates *)
   quota : int;            (* per-tenant queued+running bound; 0 = none *)
   warm_capacity : int;
@@ -44,6 +45,7 @@ let default_config =
     pool_threads = 2;
     base_seed = 1;
     journal_path = None;
+    journal_tail = 1024;
     quantum = 64;
     quota = 0;
     warm_capacity = 8;
@@ -397,7 +399,10 @@ let reader t conn =
 
 let create cfg =
   let pool = Pool.create cfg.pool_threads in
-  let journal = Journal.create ?path:cfg.journal_path ~base_seed:cfg.base_seed () in
+  let journal =
+    Journal.create ?path:cfg.journal_path ~done_tail:cfg.journal_tail
+      ~base_seed:cfg.base_seed ()
+  in
   let t =
     { cfg;
       mutex = Mutex.create ();

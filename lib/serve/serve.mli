@@ -20,6 +20,10 @@ type config = {
   pool_threads : int;     (** size of the shared data-parallel pool *)
   base_seed : int;        (** seed derivation base for unpinned jobs *)
   journal_path : string option;  (** [None] disables durability *)
+  journal_tail : int;     (** completed entries kept for replay; older
+                              done entries are compacted away and a
+                              resubmit of their id re-runs the pinned
+                              line instead of replaying stored bytes *)
   quantum : int;          (** DRR quantum, in gates per tenant visit *)
   quota : int;            (** per-tenant queued+running bound; 0 = none *)
   warm_capacity : int;    (** idle warm-handle bound *)
@@ -29,8 +33,9 @@ type config = {
 }
 
 val default_config : config
-(** [flatdd.sock], 2 slots, pool 2, seed 1, no journal, quantum 64, no
-    quota, 8 warm handles, tolerant parsing, silent log. *)
+(** [flatdd.sock], 2 slots, pool 2, seed 1, no journal, 1024-entry
+    done-tail, quantum 64, no quota, 8 warm handles, tolerant parsing,
+    silent log. *)
 
 type t
 

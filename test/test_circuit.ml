@@ -94,6 +94,98 @@ let test_cswap_decomposition () =
       Alcotest.failf "cswap on |%d>: expected |%d>, p=%f" basis expected p
   done
 
+(* --- remap properties (the qubit-order layer rides on these) ----------- *)
+
+let random_perm rng n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(* Basis-index image of a qubit map: bit [q] of [i] lands at position
+   [perm.(q)]. *)
+let permute_index perm i =
+  let k = ref 0 in
+  Array.iteri (fun q p -> k := !k lor (((i lsr q) land 1) lsl p)) perm;
+  !k
+
+let sample_circuit rng =
+  let n = 3 + Random.State.int rng 4 in
+  (n, Suite.generate ~seed:(Random.State.int rng 10000) ~gates:24 Suite.Supremacy ~n)
+
+let test_remap_compose () =
+  (* remap by p then by q is remap by (q after p) — matrices are shared,
+     names kept, so structural equality is exact. *)
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 25 do
+    let n, c = sample_circuit rng in
+    let p = random_perm rng n and q = random_perm rng n in
+    let qp = Array.map (fun i -> q.(i)) p in
+    Alcotest.(check bool) "remap p; remap q = remap (q∘p)" true
+      (Circuit.remap (Circuit.remap c ~n p) ~n q = Circuit.remap c ~n qp)
+  done
+
+let test_remap_inverse () =
+  let rng = Random.State.make [| 12 |] in
+  for _ = 1 to 25 do
+    let n, c = sample_circuit rng in
+    let p = random_perm rng n in
+    let inv = Array.make n 0 in
+    Array.iteri (fun i pi -> inv.(pi) <- i) p;
+    Alcotest.(check bool) "remap p; remap p⁻¹ = id" true
+      (Circuit.remap (Circuit.remap c ~n p) ~n inv = c)
+  done
+
+let test_remap_simulation_equivalence () =
+  (* Across every suite family: simulating the remapped circuit permutes
+     the dense amplitude vector by the basis-index image of the map —
+     amp'(perm·i) = amp(i). *)
+  let rng = Random.State.make [| 13 |] in
+  List.iter
+    (fun fam ->
+       (* Adder wants an even register, the swap-test pair an odd one. *)
+       let n = match fam with Suite.Knn | Suite.Swap_test -> 5 | _ -> 6 in
+       let c = Suite.generate ~seed:7 ~gates:24 fam ~n in
+       let reference = (Apply.run c).State.amps in
+       let p = random_perm rng n in
+       let remapped = (Apply.run (Circuit.remap c ~n p)).State.amps in
+       for i = 0 to (1 lsl n) - 1 do
+         let a = Buf.get reference i and b = Buf.get remapped (permute_index p i) in
+         if Cnum.norm2 (Cnum.sub a b) > 1e-24 then
+           Alcotest.failf "%s: amp mismatch at %d under %s"
+             (Suite.family_name fam) i
+             (String.concat "," (Array.to_list (Array.map string_of_int p)))
+       done)
+    Suite.all_families
+
+let test_remap_injective_embedding () =
+  (* An injective (non-surjective) map embeds into a wider register:
+     image amplitudes match, and every index with a bit outside the
+     image is exactly zero. *)
+  let rng = Random.State.make [| 14 |] in
+  let n = 4 and m = 6 in
+  let c = Suite.generate ~seed:5 Suite.Qft ~n in
+  let reference = (Apply.run c).State.amps in
+  for _ = 1 to 10 do
+    let p = Array.sub (random_perm rng m) 0 n in
+    let embedded = (Apply.run (Circuit.remap c ~n:m p)).State.amps in
+    let image = Array.fold_left (fun acc pi -> acc lor (1 lsl pi)) 0 p in
+    for i = 0 to (1 lsl n) - 1 do
+      let a = Buf.get reference i
+      and b = Buf.get embedded (permute_index p i) in
+      if Cnum.norm2 (Cnum.sub a b) > 1e-24 then
+        Alcotest.failf "embedding: amp mismatch at %d" i
+    done;
+    for j = 0 to (1 lsl m) - 1 do
+      if j land lnot image <> 0 && Cnum.norm2 (Buf.get embedded j) > 0.0 then
+        Alcotest.failf "embedding: off-image index %d not |0>" j
+    done
+  done
+
 let test_pp () =
   let c = Ghz.circuit 3 in
   let s = Format.asprintf "%a" Circuit.pp c in
@@ -112,4 +204,10 @@ let suite =
         Alcotest.test_case "append" `Quick test_append;
         Alcotest.test_case "swap decomposition" `Quick test_swap_decomposition;
         Alcotest.test_case "cswap decomposition" `Quick test_cswap_decomposition;
+        Alcotest.test_case "remap composition" `Quick test_remap_compose;
+        Alcotest.test_case "remap inverse round-trip" `Quick test_remap_inverse;
+        Alcotest.test_case "remap simulation equivalence" `Quick
+          test_remap_simulation_equivalence;
+        Alcotest.test_case "remap injective embedding" `Quick
+          test_remap_injective_embedding;
         Alcotest.test_case "pretty printer" `Quick test_pp ] ) ]

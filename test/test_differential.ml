@@ -6,7 +6,13 @@
    sweep is strong evidence against kernel-level index or phase bugs.
 
    A second sweep checks that DMAV-aware fusion is semantics-preserving:
-   the fused and unfused hybrid runs must agree on the same circuits. *)
+   the fused and unfused hybrid runs must agree on the same circuits.
+
+   A third sweep turns the qubit-order layer on: under static scoring and
+   dynamic sifting alike, every engine and DD domain count must still
+   report the same logical amplitudes as the dense reference — the
+   physical order is an internal detail that must never leak into
+   results. *)
 
 let tol = 1e-10
 
@@ -73,10 +79,49 @@ let test_fusion_agrees_with_unfused () =
          [ ("dmav-aware", Config.Dmav_aware); ("k=3", Config.K_operations 3) ])
     (List.filteri (fun i _ -> i mod 3 = 0) seeds)
 
+let test_order_sweep () =
+  (* For every seed and both non-trivial order modes: the EWMA hybrid at
+     1/2/4 DD domains, the pure-DD path (order-aware extraction), and
+     the forced-DMAV path (buffers logicalized before conversion results
+     surface) all match the dense reference in the logical basis. *)
+  List.iter
+    (fun seed ->
+       let n = qubits_for seed in
+       let c = circuit_for seed in
+       let dense = (Apply.run c).State.amps in
+       List.iter
+         (fun order ->
+            let name = Config.order_name order in
+            List.iter
+              (fun dd_domains ->
+                 let cfg =
+                   { Config.default with Config.threads = 2; dd_domains; order }
+                 in
+                 Test_util.check_close ~tol
+                   (Printf.sprintf "seed %d (n=%d): %s ewma d=%d vs dense"
+                      seed n name dd_domains)
+                   (Simulator.amplitudes (Simulator.simulate cfg c))
+                   dense)
+              [ 1; 2; 4 ];
+            Test_util.check_close ~tol
+              (Printf.sprintf "seed %d (n=%d): %s pure-dd vs dense" seed n name)
+              (Simulator.amplitudes
+                 (Simulator.simulate
+                    { Config.default with Config.policy = Config.Never_convert; order }
+                    c))
+              dense;
+            Test_util.check_close ~tol
+              (Printf.sprintf "seed %d (n=%d): %s forced dmav vs dense" seed n name)
+              (Simulator.amplitudes (Simulator.simulate { forced_dmav with Config.order } c))
+              dense)
+         [ Config.Static_order; Config.Sift_order ])
+    seeds
+
 let suite =
   [ ( "differential",
       [ Alcotest.test_case "50-seed three-engine sweep" `Quick test_three_engine_sweep;
         Alcotest.test_case "50-seed adaptive hybrid sweep" `Quick
           test_hybrid_policy_sweep;
         Alcotest.test_case "fusion is semantics-preserving" `Quick
-          test_fusion_agrees_with_unfused ] ) ]
+          test_fusion_agrees_with_unfused;
+        Alcotest.test_case "50-seed qubit-order sweep" `Quick test_order_sweep ] ) ]

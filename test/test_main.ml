@@ -32,4 +32,5 @@ let () =
          Test_taskq.suite;
          Test_sched.suite;
          Test_manifest.suite;
-         Test_serve.suite ])
+         Test_serve.suite;
+         Test_order.suite ])

@@ -46,6 +46,27 @@ let test_config_overrides () =
   Alcotest.(check bool) "numeric policy = convert at gate" true
     (r2.Manifest.job.Sched.config.Config.policy = Config.Convert_at 0)
 
+let test_order_field () =
+  List.iter
+    (fun (name, expected) ->
+       let r =
+         Manifest.parse_line ~index:0
+           (Printf.sprintf {|{"circuit":"qft","n":5,"order":"%s"}|} name)
+       in
+       Alcotest.(check bool) (Printf.sprintf "order %S parses" name) true
+         (r.Manifest.job.Sched.config.Config.order = expected))
+    [ ("none", Config.No_order); ("static", Config.Static_order);
+      ("sift", Config.Sift_order) ];
+  (* Absent field falls back to the batch-level default config. *)
+  let default_config = { Config.default with Config.order = Config.Static_order } in
+  let r = Manifest.parse_line ~default_config ~index:0 {|{"circuit":"qft","n":5}|} in
+  Alcotest.(check bool) "default config order inherited" true
+    (r.Manifest.job.Sched.config.Config.order = Config.Static_order);
+  expect_error "unknown order value" (fun () ->
+      Manifest.parse_line ~index:0 {|{"circuit":"qft","n":5,"order":"bogus"}|});
+  expect_error "non-string order" (fun () ->
+      Manifest.parse_line ~index:0 {|{"circuit":"qft","n":5,"order":1}|})
+
 let test_parse_errors () =
   expect_error "no circuit source" (fun () ->
       Manifest.parse_line ~index:0 {|{"id":"x","n":4}|});
@@ -210,6 +231,7 @@ let suite =
         Alcotest.test_case "defaults and derived seed" `Quick
           test_defaults_and_derived_seed;
         Alcotest.test_case "config overrides" `Quick test_config_overrides;
+        Alcotest.test_case "order field" `Quick test_order_field;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
         Alcotest.test_case "schema versioning" `Quick test_schema_versioning;
         Alcotest.test_case "strict gates unknown fields" `Quick

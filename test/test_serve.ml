@@ -124,6 +124,20 @@ let test_pin_line_dd_domains () =
   Alcotest.(check string) "explicit line value preserved" "2"
     (pinned_field (Client.pin_line ~dir:"." r raw) "dd_domains")
 
+let test_pin_line_order () =
+  (* Same wire rule for the qubit-order policy: the client's --order
+     default must reach the daemon explicitly, and a per-line value
+     wins. *)
+  let default_config = { Config.default with Config.order = Config.Static_order } in
+  let raw = {|{"id":"o","circuit":"qft","n":4,"seed":2}|} in
+  let r = Manifest.parse_line ~default_config ~index:0 raw in
+  Alcotest.(check string) "client default pinned into the line" "static"
+    (pinned_field (Client.pin_line ~dir:"." r raw) "order");
+  let raw = {|{"id":"o","circuit":"qft","n":4,"seed":2,"order":"sift"}|} in
+  let r = Manifest.parse_line ~default_config ~index:0 raw in
+  Alcotest.(check string) "explicit line value preserved" "sift"
+    (pinned_field (Client.pin_line ~dir:"." r raw) "order")
+
 let test_load_pinned_duplicate_ids () =
   in_temp_dir (fun dir ->
       let path = Filename.concat dir "dup.jsonl" in
@@ -250,11 +264,68 @@ let test_journal_roundtrip () =
        | exception Journal.Error _ -> ()
        | _ -> Alcotest.fail "base_seed mismatch must fail"))
 
+(* Compaction: every mutation keeps all pending entries plus the newest
+   [done_tail] completed ones, so the rewrite (and in-memory footprint)
+   is bounded by traffic the daemon controls — while pending entries and
+   the crash guarantee are untouched. *)
+let test_journal_compaction () =
+  with_obs (fun () ->
+      in_temp_dir (fun dir ->
+          let path = Filename.concat dir "jc.jsonl" in
+          let dropped = Obs.counter "serve.journal.dropped_done" in
+          let d0 = Obs.value dropped in
+          let j = Journal.create ~path ~done_tail:2 ~base_seed:1 () in
+          let ids = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+          List.iteri
+            (fun i id ->
+               ignore
+                 (Journal.accept j ~id ~tenant:"" ~seed:i
+                    ~line:(Printf.sprintf {|{"x":%d}|} i)))
+            ids;
+          List.iter
+            (fun id -> Journal.complete j ~id ~result:(Printf.sprintf {|{"r":"%s"}|} id))
+            [ "a"; "b"; "c"; "d" ];
+          (* Newest 2 done survive (accept order), all pending survive. *)
+          Alcotest.(check int) "size = pending + done_tail" 4 (Journal.size j);
+          Alcotest.(check (list string)) "newest done tail, accept order"
+            [ "c"; "d" ] (List.map fst (Journal.done_results j));
+          Alcotest.(check (list string)) "pending never dropped" [ "e"; "f" ]
+            (List.map (fun e -> e.Journal.e_id) (Journal.pending j));
+          Alcotest.(check bool) "dropped id forgotten" true (Journal.find j "a" = None);
+          Alcotest.(check bool) "dropped counted" true (Obs.value dropped >= d0 + 2);
+          (* Retained bytes are exactly the uncompacted suffix. *)
+          List.iter
+            (fun (id, r) ->
+               Alcotest.(check string) "retained result bytes intact"
+                 (Printf.sprintf {|{"r":"%s"}|} id) r)
+            (Journal.done_results j);
+          (* Reload sees the compacted file; a dropped id can be accepted
+             again (deterministic re-run, not replay). *)
+          let j2 = Journal.create ~path ~done_tail:2 ~base_seed:1 () in
+          Alcotest.(check int) "reload size" 4 (Journal.size j2);
+          Alcotest.(check (list string)) "reload done tail" [ "c"; "d" ]
+            (List.map fst (Journal.done_results j2));
+          ignore (Journal.accept j2 ~id:"a" ~tenant:"" ~seed:0 ~line:{|{"x":0}|});
+          (match Journal.find j2 "a" with
+           | Some { Journal.e_state = Journal.Pending; _ } -> ()
+           | _ -> Alcotest.fail "re-accepted dropped id must be pending");
+          (* done_tail:0 keeps only pending; negative is rejected. *)
+          let j3 = Journal.create ~done_tail:0 ~base_seed:1 () in
+          ignore (Journal.accept j3 ~id:"z" ~tenant:"" ~seed:0 ~line:"{}");
+          Journal.complete j3 ~id:"z" ~result:"{}";
+          Alcotest.(check int) "done_tail 0 keeps nothing done" 0 (Journal.size j3);
+          (match Journal.create ~done_tail:(-1) ~base_seed:1 () with
+           | exception Journal.Error _ -> ()
+           | _ -> Alcotest.fail "negative done_tail must be rejected")))
+
 (* Satellite property: for ANY prefix of accepted jobs completed before a
    crash, reloading the journal and re-running the pending entries yields
    exactly the uninterrupted run's result set — no duplicated and no
-   dropped job ids, byte-identical canonical lines. *)
-let test_checkpoint_prefix_property () =
+   dropped job ids, byte-identical canonical lines. Runs both without
+   compaction pressure (done_tail larger than the job set) and with an
+   aggressive [done_tail]: compaction may forget old done entries but
+   must never touch the pending suffix or the retained bytes. *)
+let check_prefix_property ~done_tail () =
   let lines =
     [ {|{"circuit":"qft","n":5}|};
       {|{"circuit":"ghz","n":6}|};
@@ -288,7 +359,7 @@ let test_checkpoint_prefix_property () =
            let path = Filename.concat dir (Printf.sprintf "j%d.jsonl" k) in
            (* Life 1 accepts everything, completes the first k, crashes
               (we simply stop using the handle — every flush was atomic). *)
-           let j1 = Journal.create ~path ~base_seed ()  in
+           let j1 = Journal.create ~path ~done_tail ~base_seed () in
            List.iter
              (fun (id, seed, line) -> ignore (Journal.accept j1 ~id ~tenant:"" ~seed ~line))
              pinned;
@@ -297,7 +368,7 @@ let test_checkpoint_prefix_property () =
                 if i < k then Journal.complete j1 ~id ~result:(List.assoc id reference))
              pinned;
            (* Life 2 reloads and re-runs exactly the pending suffix. *)
-           let j2 = Journal.create ~path ~base_seed () in
+           let j2 = Journal.create ~path ~done_tail ~base_seed () in
            let pending = Journal.pending j2 in
            Alcotest.(check int) "pending = suffix" (List.length pinned - k)
              (List.length pending);
@@ -305,11 +376,18 @@ let test_checkpoint_prefix_property () =
              (fun (e : Journal.entry) ->
                 Journal.complete j2 ~id:e.Journal.e_id ~result:(run_one e.Journal.e_line))
              pending;
+           (* Once everything has completed, the retained done entries
+              are the newest [done_tail] by accept order — all of them
+              when the tail is big enough — with untouched bytes. *)
            let final = Journal.done_results j2 in
+           let all_ids = List.map (fun (id, _, _) -> id) pinned in
+           let expected_ids =
+             let total = List.length all_ids in
+             List.filteri (fun i _ -> i >= total - done_tail) all_ids
+           in
            Alcotest.(check (list string))
-             (Printf.sprintf "prefix %d: ids exactly once, accept order" k)
-             (List.map (fun (id, _, _) -> id) pinned)
-             (List.map fst final);
+             (Printf.sprintf "prefix %d: retained ids exactly once, accept order" k)
+             expected_ids (List.map fst final);
            List.iter
              (fun (id, line) ->
                 Alcotest.(check string)
@@ -317,6 +395,9 @@ let test_checkpoint_prefix_property () =
                   (List.assoc id reference) line)
              final)
         (() :: List.map (fun _ -> ()) pinned))
+
+let test_checkpoint_prefix_property () = check_prefix_property ~done_tail:1024 ()
+let test_checkpoint_prefix_compacted () = check_prefix_property ~done_tail:1 ()
 
 (* --- warm engine state ------------------------------------------------- *)
 
@@ -693,6 +774,7 @@ let suite =
     ( "serve client pinning",
       [ Alcotest.test_case "qasm absolutization" `Quick test_pin_line_paths;
         Alcotest.test_case "dd_domains rides the wire" `Quick test_pin_line_dd_domains;
+        Alcotest.test_case "order rides the wire" `Quick test_pin_line_order;
         Alcotest.test_case "duplicate ids rejected locally" `Quick
           test_load_pinned_duplicate_ids ] );
     ( "serve tenant drr",
@@ -703,8 +785,11 @@ let suite =
         Alcotest.test_case "quota admission" `Quick test_quota ] );
     ( "serve journal",
       [ Alcotest.test_case "round-trip through disk" `Quick test_journal_roundtrip;
+        Alcotest.test_case "done-tail compaction" `Quick test_journal_compaction;
         Alcotest.test_case "crash/restart prefix property" `Slow
-          test_checkpoint_prefix_property ] );
+          test_checkpoint_prefix_property;
+        Alcotest.test_case "crash/restart prefix property, compacted" `Slow
+          test_checkpoint_prefix_compacted ] );
     ( "serve warm",
       [ Alcotest.test_case "warm reuse is bit-identical" `Quick test_warm_bit_identical;
         Alcotest.test_case "eviction and sizing" `Quick test_warm_eviction_and_sizing ] );
