@@ -44,10 +44,148 @@ let report ctx ~rule ?severity ~loc message =
 (* [(* qcs-lint: allow rule-a rule-b *)] suppresses findings of the named
    rules on the comment's own line and on the line below it, so the
    comment reads naturally either inline or on its own line above the
-   flagged code. The scan is textual (the parser drops comments), which
-   also means a suppression inside a string literal is honored — harmless
-   in practice and much simpler than re-lexing. *)
+   flagged code. The parser drops comments, so the scan re-lexes the
+   source just enough to know which bytes are comment text: strings
+   (plain and [{id|...|id}] quoted), char literals and nested comments
+   are tracked, so a marker inside a string literal is data, not a
+   suppression. *)
 let marker = "qcs-lint: allow"
+
+(* The comment fragments of [text], one (line, fragment) pair per line of
+   each comment, with the delimiters included. Strings inside comments
+   follow string lexing (OCaml requires them balanced), so a close-comment
+   sequence inside one does not end the comment. An unterminated construct
+   swallows the rest of the file, like the real lexer. *)
+let comment_lines text =
+  let n = String.length text in
+  let out = ref [] in
+  let line = ref 1 in
+  let frag = Buffer.create 64 in
+  let flush_frag () =
+    if Buffer.length frag > 0 then begin
+      out := (!line, Buffer.contents frag) :: !out;
+      Buffer.clear frag
+    end
+  in
+  (* Skip a char literal starting at the opening quote; returns the index
+     past it, or [i + 1] when the quote is a type variable / prose
+     apostrophe. *)
+  let skip_char_lit i =
+    if i + 2 < n && text.[i + 1] <> '\\' && text.[i + 1] <> '\'' && text.[i + 2] = '\''
+    then i + 3
+    else if i + 1 < n && text.[i + 1] = '\\' then begin
+      (* Escape forms: \n \\ \' \ddd \xhh \o... — closing quote within a
+         few chars. *)
+      let stop = Int.min n (i + 7) in
+      let rec find j = if j >= stop then None else if text.[j] = '\'' then Some (j + 1) else find (j + 1) in
+      match find (i + 2) with Some j -> j | None -> i + 1
+    end
+    else i + 1
+  in
+  (* Scan a string body from just past the opening quote to just past the
+     closing one. [in_comment] records the bytes into the fragment. *)
+  let rec skip_string ~in_comment i =
+    if i >= n then i
+    else begin
+      let c = text.[i] in
+      if c = '\n' then begin
+        if in_comment then flush_frag ();
+        incr line;
+        skip_string ~in_comment (i + 1)
+      end
+      else begin
+        if in_comment then Buffer.add_char frag c;
+        if c = '\\' && i + 1 < n then begin
+          (* The escaped char may itself be a newline (OCaml's string
+             line-continuation) — keep the line counter honest. *)
+          if text.[i + 1] = '\n' then begin
+            if in_comment then flush_frag ();
+            incr line
+          end
+          else if in_comment then Buffer.add_char frag text.[i + 1];
+          skip_string ~in_comment (i + 2)
+        end
+        else if c = '"' then i + 1
+        else skip_string ~in_comment (i + 1)
+      end
+    end
+  in
+  (* [{id|...|id}]: find the matching terminator. *)
+  let quoted_string_id i =
+    (* at [i] sits '{'; a quoted string has [a-z_]* then '|'. *)
+    let rec go j = if j < n && (text.[j] = '_' || (text.[j] >= 'a' && text.[j] <= 'z')) then go (j + 1) else j in
+    let stop = go (i + 1) in
+    if stop < n && text.[stop] = '|' then Some (String.sub text (i + 1) (stop - i - 1), stop + 1)
+    else None
+  in
+  let rec comment depth i =
+    if i >= n then ()
+    else
+      let c = text.[i] in
+      if c = '\n' then begin
+        flush_frag ();
+        incr line;
+        comment depth (i + 1)
+      end
+      else if c = '(' && i + 1 < n && text.[i + 1] = '*' then begin
+        Buffer.add_string frag "(*";
+        comment (depth + 1) (i + 2)
+      end
+      else if c = '*' && i + 1 < n && text.[i + 1] = ')' then begin
+        Buffer.add_string frag "*)";
+        if depth = 1 then begin
+          flush_frag ();
+          normal (i + 2)
+        end
+        else comment (depth - 1) (i + 2)
+      end
+      else if c = '"' then begin
+        Buffer.add_char frag '"';
+        comment depth (skip_string ~in_comment:true (i + 1))
+      end
+      else if c = '\'' then begin
+        let j = skip_char_lit i in
+        Buffer.add_string frag (String.sub text i (Int.min (j - i) (n - i)));
+        comment depth j
+      end
+      else begin
+        Buffer.add_char frag c;
+        comment depth (i + 1)
+      end
+  and normal i =
+    if i >= n then ()
+    else
+      let c = text.[i] in
+      if c = '\n' then begin
+        incr line;
+        normal (i + 1)
+      end
+      else if c = '(' && i + 1 < n && text.[i + 1] = '*' then begin
+        Buffer.add_string frag "(*";
+        comment 1 (i + 2)
+      end
+      else if c = '"' then normal (skip_string ~in_comment:false (i + 1))
+      else if c = '{' then
+        (match quoted_string_id i with
+         | None -> normal (i + 1)
+         | Some (id, body) ->
+           let term = "|" ^ id ^ "}" in
+           let tn = String.length term in
+           let rec find j =
+             if j + tn > n then n
+             else if String.sub text j tn = term then j + tn
+             else begin
+               if text.[j] = '\n' then incr line;
+               find (j + 1)
+             end
+           in
+           normal (find body))
+      else if c = '\'' then normal (skip_char_lit i)
+      else normal (i + 1)
+  in
+  normal 0;
+  flush_frag ();
+  List.rev !out
 
 let split_words s =
   String.split_on_char ' ' s
@@ -65,10 +203,10 @@ let find_substring hay needle =
   go 0
 
 (* (line, rule) pairs; rule "all" suppresses every rule on that line. *)
-let suppressions lines =
+let suppressions text =
   let out = ref [] in
-  Array.iteri
-    (fun i line ->
+  List.iter
+    (fun (lineno, line) ->
        match find_substring line marker with
        | None -> ()
        | Some pos ->
@@ -91,8 +229,8 @@ let suppressions lines =
            | w :: rest when is_rule_word w -> w :: take rest
            | _ -> []
          in
-         List.iter (fun r -> out := (i + 1, r) :: !out) (take (split_words rest)))
-    lines;
+         List.iter (fun r -> out := (lineno, r) :: !out) (take (split_words rest)))
+    (comment_lines text);
   !out
 
 let suppressed supp (f : finding) =
@@ -154,15 +292,23 @@ let parse path text =
   | exception Lexer.Error (_, loc) ->
     Error (loc.Location.loc_start.Lexing.pos_lnum, "lexical error")
 
+(* (file, line, col, rule): a total, filesystem-independent order, so
+   listings, JSON documents and baseline diffs are stable across
+   directory-iteration order and rule evaluation order. *)
 let compare_finding a b =
-  match compare a.line b.line with
-  | 0 -> (match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+  match compare a.file b.file with
+  | 0 ->
+    (match compare a.line b.line with
+     | 0 -> (match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+     | c -> c)
   | c -> c
+
+let sort_findings fs = List.sort compare_finding fs
 
 let lint_source ~rules ~allow ~path text =
   let lines = Array.of_list (String.split_on_char '\n' text) in
   let src = { path = normalize_path path; text; lines } in
-  let supp = suppressions lines in
+  let supp = suppressions text in
   let findings = ref [] in
   let emit f =
     if not (allowed allow f.rule f.file) && not (suppressed supp f) then
@@ -196,20 +342,26 @@ let render f =
     f.rule f.message
 
 (* ------------------------------------------------------------------ *)
-(* qcs_lint/v1 JSON                                                    *)
+(* qcs_lint/v1 and /v2 JSON                                            *)
 (* ------------------------------------------------------------------ *)
 
 let schema = "qcs_lint/v1"
+let schema_v2 = "qcs_lint/v2"
 
 let count sev findings =
   List.length (List.filter (fun (f : finding) -> f.severity = sev) findings)
 
-let to_json ~files findings =
+(* [extra] carries the whole-program stats (function count, call edges,
+   parallel-reachable set size, baseline tallies); v1 has none. *)
+let to_json_schema ~schema ~extra ~files findings =
   let jstr = Obs.Metrics.jstr in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"schema\": %s,\n" (jstr schema));
   Buffer.add_string b (Printf.sprintf "  \"files\": %d,\n" files);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %s: %d,\n" (jstr k) v))
+    extra;
   Buffer.add_string b (Printf.sprintf "  \"errors\": %d,\n" (count Error findings));
   Buffer.add_string b (Printf.sprintf "  \"warnings\": %d,\n" (count Warning findings));
   Buffer.add_string b (Printf.sprintf "  \"infos\": %d,\n" (count Info findings));
@@ -226,3 +378,8 @@ let to_json ~files findings =
   if findings <> [] then Buffer.add_string b "\n  ";
   Buffer.add_string b "]\n}\n";
   Buffer.contents b
+
+let to_json ~files findings = to_json_schema ~schema ~extra:[] ~files findings
+
+let to_json_v2 ~files ~extra findings =
+  to_json_schema ~schema:schema_v2 ~extra ~files findings

@@ -58,6 +58,38 @@ val load_allow : string -> (string * string) list
     blank lines and [#] comments ignored. Rule ["*"] matches every
     rule. *)
 
+val allowed : (string * string) list -> string -> string -> bool
+(** [allowed allow rule path]: the allowlist covers [rule] at [path]. *)
+
+val normalize_path : string -> string
+(** ['/'-separate] and strip [./] so paths compare stably across
+    platforms and invocation styles. *)
+
+val comment_lines : string -> (int * string) list
+(** The comment fragments of a source text, one (1-based line, fragment)
+    pair per line of each comment. The scan lexes strings (plain and
+    [{id|...|id}] quoted), char literals and nested comments, so comment
+    text is recognized exactly — a marker inside a string literal is
+    data. *)
+
+val suppressions : string -> (int * string) list
+(** The inline [(* qcs-lint: allow ... *)] markers of a source text as
+    (line, rule) pairs; rule ["all"] suppresses everything on its
+    line. Markers are only honored inside comments. *)
+
+val suppressed : (int * string) list -> finding -> bool
+(** A suppression on the finding's line or the line above covers it. *)
+
+val parse : string -> string -> (Parsetree.structure, int * string) result
+(** [parse path text]: compiler-libs parse, [Error (line, msg)] on a
+    syntax or lexical error. *)
+
+val compare_finding : finding -> finding -> int
+(** Total order by (file, line, col, rule) — the canonical emission
+    order. *)
+
+val sort_findings : finding list -> finding list
+
 val lint_source :
   rules:rule list -> allow:(string * string) list -> path:string -> string ->
   finding list
@@ -81,3 +113,8 @@ val render : finding -> string
 val to_json : files:int -> finding list -> string
 (** The [qcs_lint/v1] JSON document: schema tag, file/severity tallies,
     and the finding array. *)
+
+val to_json_v2 : files:int -> extra:(string * int) list -> finding list -> string
+(** The [qcs_lint/v2] document emitted by [--program]: like v1 plus the
+    whole-program stats in [extra] (functions, call edges, parallel
+    roots, parallel-reachable set size, baseline tallies). *)

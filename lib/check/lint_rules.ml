@@ -436,3 +436,8 @@ let all =
     printf_in_lib; node_alloc_outside_arena; todo_marker ]
 
 let find name = List.find_opt (fun r -> r.Lint.name = name) all
+
+(* The inter-procedural rules (Program) are not per-file [Lint.rule]s —
+   they need the whole-program model — but the catalog lives here so
+   [--list-rules] shows one unified rule set. *)
+let program = Program.rules

@@ -9,3 +9,9 @@ val all : Lint.rule list
 
 val find : string -> Lint.rule option
 (** Look a rule up by name. *)
+
+val program : (string * Lint.severity * string) list
+(** The whole-program rules ({!Program}): [unguarded-shared-state],
+    [lock-order], [arena-epoch]. Not [Lint.rule]s — they need the
+    cross-module model — but cataloged here so [--list-rules] shows one
+    unified set. *)

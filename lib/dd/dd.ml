@@ -489,7 +489,10 @@ let mm p (ae : medge) (be : medge) : medge =
 (* Parallel gate application                                           *)
 (* ------------------------------------------------------------------ *)
 
-let refresh_snapshot_mem : (package -> int) ref = ref (fun _ -> 0)
+(* Tied after [memory_bytes_now] is defined; an Atomic because
+   refresh_snapshot runs on pool domains (quiesce) while the knot is a
+   plain module-init write. *)
+let refresh_snapshot_mem : (package -> int) Atomic.t = Atomic.make (fun _ -> 0)
 (* forward ref: memory_bytes is defined below but the quiesce path needs
    it; resolved once at module init. *)
 
@@ -501,7 +504,7 @@ let refresh_snapshot p =
   s.s_free_m <- Node_store.free_slots p.ma;
   s.s_cap_v <- Node_store.capacity p.va;
   s.s_cap_m <- Node_store.capacity p.ma;
-  s.s_mem <- !refresh_snapshot_mem p
+  s.s_mem <- (Atomic.get refresh_snapshot_mem) p
 
 let parallel_domains p = match p.par with None -> 1 | Some ps -> ps.ndom
 
@@ -1002,7 +1005,7 @@ let memory_bytes_now p =
   + Dd_cache.Three.memory_bytes p.madd_cache
   + dom_bytes
 
-let () = refresh_snapshot_mem := memory_bytes_now
+let () = Atomic.set refresh_snapshot_mem memory_bytes_now
 
 (* While parallel mode is on, report the quiesce-point snapshot instead of
    racing the arenas (satellite fix: no torn occupancy in --metrics-json).
@@ -1086,8 +1089,8 @@ let mview p =
 module Testing = struct
   exception Arena_need_grow = Node_store.Need_grow
 
-  let set_race_spins n = Node_store.test_race_spins := n
-  let set_bypass_stripe_lock b = Node_store.test_bypass_stripe_lock := b
+  let set_race_spins n = Atomic.set Node_store.test_race_spins n
+  let set_bypass_stripe_lock b = Atomic.set Node_store.test_bypass_stripe_lock b
 
   let intern_vnode p ~dom level (e0 : vedge) (e1 : vedge) : vedge =
     let dc =

@@ -109,9 +109,10 @@ let store_ids = Atomic.make 0
 (* Race-injection hooks, for the checker's red-team tests only: widen the
    window between a stripe's probe and its publish, optionally with the
    stripe mutex bypassed so the seeded race is observable. Never set
-   outside tests. *)
-let test_race_spins = ref 0
-let test_bypass_stripe_lock = ref false
+   outside tests. Atomics: every interning domain reads them while the
+   test harness writes. *)
+let test_race_spins = Atomic.make 0
+let test_bypass_stripe_lock = Atomic.make false
 
 (* ------------------------------------------------------------------ *)
 (* Packed edges                                                        *)
@@ -440,7 +441,7 @@ let with_stripe a s ~dom ~sidx f =
   match a.par with
   | None -> f ()
   | Some _ ->
-    let bypass = !test_bypass_stripe_lock in
+    let bypass = Atomic.get test_bypass_stripe_lock in
     if not bypass then
       if not (Mutex.try_lock s.lock) then begin
         Obs.incr c_stripe_contention;
@@ -455,7 +456,7 @@ let with_stripe a s ~dom ~sidx f =
       f
 
 let[@inline] race_window () =
-  let spins = !test_race_spins in
+  let spins = Atomic.get test_race_spins in
   if spins > 0 then
     for _ = 1 to spins do
       Domain.cpu_relax ()

@@ -74,6 +74,9 @@ let allocate_buffers per_thread_blocks =
          in
          match find 0 !buffers with
          | Some (i, occ) ->
+           (* [occ] is one of this function's own tables, reached through
+              the match binding — planning is single-threaded. *)
+           (* qcs-lint: allow unguarded-shared-state *)
            List.iter (fun b -> Hashtbl.replace occ b ()) blocks;
            i
          | None ->

@@ -13,9 +13,12 @@
    instrument, so per-package constructors (e.g. [Dd.create]) can register
    freely. *)
 
-let enabled_ref = ref false
-let enabled () = !enabled_ref
-let set_enabled b = enabled_ref := b
+(* An Atomic, not a ref: the flag is read on hot paths from pool domains
+   and serve threads while the CLI may flip it — a plain ref is a data
+   race under the memory model. *)
+let enabled_ref = Atomic.make false
+let enabled () = Atomic.get enabled_ref
+let set_enabled b = Atomic.set enabled_ref b
 
 type counter = { c_name : string; c_cell : int Atomic.t }
 type fcounter = { fc_name : string; fc_cell : float Atomic.t }
@@ -60,12 +63,12 @@ let span name =
 (* Updates (all no-ops while disabled)                                 *)
 (* ------------------------------------------------------------------ *)
 
-let[@inline] incr c = if !enabled_ref then ignore (Atomic.fetch_and_add c.c_cell 1)
-let[@inline] add c n = if !enabled_ref then ignore (Atomic.fetch_and_add c.c_cell n)
+let[@inline] incr c = if Atomic.get enabled_ref then ignore (Atomic.fetch_and_add c.c_cell 1)
+let[@inline] add c n = if Atomic.get enabled_ref then ignore (Atomic.fetch_and_add c.c_cell n)
 let value c = Atomic.get c.c_cell
 
 let fadd fc x =
-  if !enabled_ref then begin
+  if Atomic.get enabled_ref then begin
     let rec go () =
       let old = Atomic.get fc.fc_cell in
       if not (Atomic.compare_and_set fc.fc_cell old (old +. x)) then go ()
@@ -75,10 +78,10 @@ let fadd fc x =
 
 let fvalue fc = Atomic.get fc.fc_cell
 
-let set_gauge g v = if !enabled_ref then Atomic.set g.g_cell v
+let set_gauge g v = if Atomic.get enabled_ref then Atomic.set g.g_cell v
 
 let max_gauge g v =
-  if !enabled_ref then begin
+  if Atomic.get enabled_ref then begin
     let rec go () =
       let old = Atomic.get g.g_cell in
       if v > old && not (Atomic.compare_and_set g.g_cell old v) then go ()
@@ -89,13 +92,13 @@ let max_gauge g v =
 let gauge_value g = Atomic.get g.g_cell
 
 let add_span_ns s ns =
-  if !enabled_ref then begin
+  if Atomic.get enabled_ref then begin
     ignore (Atomic.fetch_and_add s.s_count 1);
     ignore (Atomic.fetch_and_add s.s_ns ns)
   end
 
 let with_span s f =
-  if not !enabled_ref then f ()
+  if not (Atomic.get enabled_ref) then f ()
   else begin
     let r, ns = Timer.time_ns f in
     add_span_ns s (Int64.to_int ns);
@@ -107,7 +110,7 @@ let with_span s f =
    are a view over these local measurements. *)
 let timed s f =
   let r, ns = Timer.time_ns f in
-  if !enabled_ref then add_span_ns s (Int64.to_int ns);
+  if Atomic.get enabled_ref then add_span_ns s (Int64.to_int ns);
   (r, Int64.to_float ns *. 1e-9)
 
 let span_count s = Atomic.get s.s_count

@@ -211,6 +211,240 @@ let test_render () =
     Alcotest.(check bool) "names the rule" true (contains r "[float-eq]")
   | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
+(* ---- suppression lexing corner cases ---------------------------------- *)
+
+let test_suppress_in_string () =
+  (* A marker inside a string literal is data, not a suppression. *)
+  Alcotest.(check (list (pair int string))) "marker in string ignored" []
+    (Lint.suppressions "let s = \"qcs-lint: allow float-eq\"\n");
+  check_flagged "string marker does not suppress" ~rule:"float-eq"
+    "let s = \"qcs-lint: allow float-eq\"\nlet f x = x = 1.0\n";
+  (* Comments survive nested comments; the rule list stops at the close. *)
+  Alcotest.(check (list (pair int string))) "nested comment"
+    [ (1, "float-eq") ]
+    (Lint.suppressions "(* qcs-lint: allow float-eq (* why *) *)\n");
+  (* OCaml's backslash-newline string continuation must not desync the
+     line counter: the suppression below sits one line above the finding. *)
+  check_clean "string line-continuation keeps line numbers honest"
+    "let s = \"a \\\n   b\"\n(* qcs-lint: allow float-eq *)\nlet f x = x = 1.0\n"
+
+(* ---- whole-program mode ----------------------------------------------- *)
+
+let pool_stub = ("lib/parallel/pool.ml", "let run pool f = f ()\n")
+
+let program ?allow sources =
+  Program.analyze ?allow (Callgraph.build sources)
+
+let program_keys ?allow sources =
+  List.map
+    (fun ((f : Lint.finding), sym) -> (f.Lint.rule, f.Lint.file, sym))
+    (program ?allow sources).Program.r_findings
+
+let test_program_cross_module () =
+  (* The injected unguarded-Hashtbl fixture: a module-level table mutated
+     by a helper that another module hands to Pool.run. *)
+  let sources =
+    [ pool_stub;
+      ( "lib/fix_state.ml",
+        "let tbl : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+         let bump k = Hashtbl.replace tbl k k\n" );
+      ( "lib/fix_user.ml",
+        "let record pool k = Pool.run pool (fun () -> Fix_state.bump k)\n" ) ]
+  in
+  let res = program sources in
+  Alcotest.(check bool) "cross-module unguarded mutation flagged" true
+    (List.mem
+       ("unguarded-shared-state", "lib/fix_state.ml", "Fix_state.bump")
+       (program_keys sources));
+  Alcotest.(check bool) "helper is parallel-reachable" true
+    (List.mem "Fix_state.bump" res.Program.r_par);
+  Alcotest.(check bool) "inline suppression honored"
+    true
+    (program_keys
+       [ pool_stub;
+         ( "lib/fix_state.ml",
+           "let tbl = Hashtbl.create 16\n\
+            (* qcs-lint: allow unguarded-shared-state *)\n\
+            let bump k = Hashtbl.replace tbl k k\n" );
+         ( "lib/fix_user.ml",
+           "let record pool k = Pool.run pool (fun () -> Fix_state.bump k)\n" ) ]
+     = [])
+
+let test_program_guarded_helper () =
+  (* Same helper, but every parallel path reaches it through Mutex.protect:
+     the lock identity travels the call graph and the helper stays clean. *)
+  let keys =
+    program_keys
+      [ pool_stub;
+        ( "lib/fix_state.ml",
+          "let tbl : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+           let mu = Mutex.create ()\n\
+           let bump k = Hashtbl.replace tbl k k\n" );
+        ( "lib/fix_user.ml",
+          "let record pool k =\n\
+          \  Pool.run pool\n\
+          \    (fun () -> Mutex.protect Fix_state.mu (fun () -> Fix_state.bump k))\n" ) ]
+  in
+  Alcotest.(check (list (triple string string string)))
+    "guarded helper is clean" [] keys
+
+let test_program_lock_order () =
+  let cyclic =
+    [ ( "lib/fix_locks.ml",
+        "let m1 = Mutex.create ()\n\
+         let m2 = Mutex.create ()\n\
+         let a g = Mutex.lock m1; Mutex.lock m2; g (); Mutex.unlock m2; Mutex.unlock m1\n\
+         let b g = Mutex.lock m2; Mutex.lock m1; g (); Mutex.unlock m1; Mutex.unlock m2\n" ) ]
+  in
+  Alcotest.(check bool) "inverted acquisition order flagged" true
+    (List.exists (fun (r, _, _) -> r = "lock-order") (program_keys cyclic));
+  let consistent =
+    [ ( "lib/fix_locks.ml",
+        "let m1 = Mutex.create ()\n\
+         let m2 = Mutex.create ()\n\
+         let a g = Mutex.lock m1; Mutex.lock m2; g (); Mutex.unlock m2; Mutex.unlock m1\n\
+         let b g = Mutex.lock m1; Mutex.lock m2; g (); Mutex.unlock m2; Mutex.unlock m1\n" ) ]
+  in
+  Alcotest.(check bool) "one global order is fine" false
+    (List.exists (fun (r, _, _) -> r = "lock-order") (program_keys consistent))
+
+let test_program_epoch () =
+  let stale =
+    [ ( "lib/fix_engine.ml",
+        "let f p a b =\n\
+        \  let e = Dd.vadd p a b in\n\
+        \  Dd.compact p;\n\
+        \  Dd.vadd p e e\n" ) ]
+  in
+  Alcotest.(check bool) "cached edge used across compact flagged" true
+    (List.exists (fun (r, _, _) -> r = "arena-epoch") (program_keys stale));
+  let refreshed =
+    [ ( "lib/fix_engine.ml",
+        "let f p a b =\n\
+        \  let e = Dd.vadd p a b in\n\
+        \  Dd.compact p;\n\
+        \  let e2 = Dd.vadd p a b in\n\
+        \  ignore e;\n\
+        \  Dd.vadd p e2 e2\n" ) ]
+  in
+  Alcotest.(check bool) "re-reading after compact would be flagged anyway" true
+    (List.exists (fun (r, _, _) -> r = "arena-epoch") (program_keys refreshed));
+  let rebuilt =
+    [ ( "lib/fix_engine.ml",
+        "let f p a b =\n\
+        \  let e = Dd.vadd p a b in\n\
+        \  ignore e;\n\
+        \  Dd.compact p;\n\
+        \  let e2 = Dd.vadd p a b in\n\
+        \  Dd.vadd p e2 e2\n" ) ]
+  in
+  Alcotest.(check bool) "edges rebuilt after compact are clean" false
+    (List.exists (fun (r, _, _) -> r = "arena-epoch") (program_keys rebuilt));
+  let in_dd =
+    [ ( "lib/dd/fix_engine.ml",
+        "let f p a b =\n\
+        \  let e = Dd.vadd p a b in\n\
+        \  Dd.compact p;\n\
+        \  Dd.vadd p e e\n" ) ]
+  in
+  Alcotest.(check bool) "lib/dd owns its own epochs" false
+    (List.exists (fun (r, _, _) -> r = "arena-epoch") (program_keys in_dd))
+
+(* Against the real tree: the parallel-reachable set must cover the mv_par
+   task body and the serve connection threads. Skips silently when the
+   test binary runs outside a source checkout. *)
+let test_program_par_regression () =
+  let rec find_root d =
+    if Sys.file_exists (Filename.concat d "lib/dd/dd.ml") then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else find_root parent
+  in
+  match find_root (Sys.getcwd ()) with
+  | None -> ()
+  | Some root ->
+    let roots =
+      List.filter Sys.file_exists
+        (List.map (Filename.concat root) [ "lib"; "bin"; "tools" ])
+    in
+    let res = Program.analyze (Callgraph.build (Callgraph.load roots)) in
+    List.iter
+      (fun name ->
+         Alcotest.(check bool) (name ^ " is parallel-reachable") true
+           (List.mem name res.Program.r_par))
+      [ "Dd.mv_nodes_d"; "Serve.writer"; "Serve.reader" ]
+
+(* ---- baseline ratchet -------------------------------------------------- *)
+
+let mkf ?(rule = "unguarded-shared-state") ?(sev = Lint.Error)
+    ?(file = "lib/a.ml") ?(line = 1) ?(col = 0) msg =
+  { Lint.rule; severity = sev; file; line; col; message = msg }
+
+let test_baseline () =
+  let f1 = (mkf "m1", "A.f") and f2 = (mkf ~line:9 "m2", "A.f") in
+  let f3 = (mkf ~rule:"lock-order" ~file:"lib/b.ml" "m3", "B.g") in
+  Alcotest.(check string) "key shape"
+    "unguarded-shared-state lib/a.ml A.f" (Program.baseline_key f1);
+  (* Multiset semantics: two same-key findings against a budget of one. *)
+  let base = [ Program.baseline_key f1; Program.baseline_key f3 ] in
+  Alcotest.(check int) "one same-key finding over budget survives" 1
+    (List.length (Program.new_against_baseline ~baseline:base [ f1; f2; f3 ]));
+  Alcotest.(check int) "fully covered set is quiet" 0
+    (List.length (Program.new_against_baseline ~baseline:base [ f2; f3 ]));
+  (* Render/load round-trip through a real file. *)
+  let path = Filename.temp_file "qcs_lint" ".baseline" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Program.render_baseline [ f1; f2; f3 ]));
+  let loaded = Program.load_baseline path in
+  Sys.remove path;
+  Alcotest.(check (list string)) "round-trip"
+    (List.sort compare
+       (List.map Program.baseline_key [ f1; f2; f3 ]))
+    (List.sort compare loaded);
+  Alcotest.(check (list string)) "missing baseline is empty" []
+    (Program.load_baseline "/nonexistent/qcs_lint.baseline")
+
+(* ---- output determinism ------------------------------------------------ *)
+
+let test_sort_findings () =
+  let fs =
+    [ mkf ~file:"lib/b.ml" "x";
+      mkf ~file:"lib/a.ml" ~line:2 "x";
+      mkf ~file:"lib/a.ml" ~line:1 ~col:4 "x";
+      mkf ~file:"lib/a.ml" ~line:1 ~col:4 ~rule:"lock-order" "x";
+      mkf ~file:"lib/a.ml" ~line:1 "x" ]
+  in
+  let sorted = Lint.sort_findings fs in
+  Alcotest.(check (list (pair string int)))
+    "ordered by (file, line, col, rule)"
+    [ ("lib/a.ml", 1); ("lib/a.ml", 1); ("lib/a.ml", 1); ("lib/a.ml", 2);
+      ("lib/b.ml", 1) ]
+    (List.map (fun (f : Lint.finding) -> (f.Lint.file, f.Lint.line)) sorted);
+  (match sorted with
+   | _ :: a :: b :: _ ->
+     Alcotest.(check string) "rule breaks the col tie" "lock-order" a.Lint.rule;
+     Alcotest.(check string) "rule breaks the col tie (2)" "unguarded-shared-state"
+       b.Lint.rule
+   | _ -> Alcotest.fail "unexpected sort shape");
+  Alcotest.(check (list int)) "sort is a permutation-stable total order"
+    (List.map (fun (f : Lint.finding) -> f.Lint.line) sorted)
+    (List.map (fun (f : Lint.finding) -> f.Lint.line)
+       (Lint.sort_findings (List.rev fs)))
+
+let test_json_v2 () =
+  let j =
+    Lint.to_json_v2 ~files:68
+      ~extra:[ ("parallel_reachable", 446); ("new_findings", 0) ]
+      [ mkf "shared table mutated off-lock" ]
+  in
+  Alcotest.(check bool) "schema tag" true (contains j "\"schema\": \"qcs_lint/v2\"");
+  Alcotest.(check bool) "stats carried" true
+    (contains j "\"parallel_reachable\": 446");
+  Alcotest.(check bool) "ratchet count carried" true
+    (contains j "\"new_findings\": 0");
+  Alcotest.(check bool) "finding present" true
+    (contains j "\"rule\": \"unguarded-shared-state\"")
+
 let suite =
   [ ( "lint",
       [ Alcotest.test_case "float-eq" `Quick test_float_eq;
@@ -229,7 +463,20 @@ let suite =
         Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
         Alcotest.test_case "has_errors gate" `Quick test_has_errors_gate;
         Alcotest.test_case "qcs_lint/v1 JSON" `Quick test_json_document;
-        Alcotest.test_case "human rendering" `Quick test_render ] ) ]
+        Alcotest.test_case "human rendering" `Quick test_render;
+        Alcotest.test_case "suppression lexing" `Quick test_suppress_in_string;
+        Alcotest.test_case "sorted findings" `Quick test_sort_findings;
+        Alcotest.test_case "qcs_lint/v2 JSON" `Quick test_json_v2 ] );
+    ( "program",
+      [ Alcotest.test_case "cross-module unguarded state" `Quick
+          test_program_cross_module;
+        Alcotest.test_case "guarded helper stays clean" `Quick
+          test_program_guarded_helper;
+        Alcotest.test_case "lock-order cycles" `Quick test_program_lock_order;
+        Alcotest.test_case "arena-epoch staleness" `Quick test_program_epoch;
+        Alcotest.test_case "parallel-reachable regression" `Quick
+          test_program_par_regression;
+        Alcotest.test_case "baseline ratchet" `Quick test_baseline ] ) ]
 
 (* Own binary: the linter's compiler-libs dependency cannot be linked
    next to the simulator's Config (see test/dune). *)

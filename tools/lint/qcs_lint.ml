@@ -1,18 +1,32 @@
 (* qcs_lint: the FlatDD static analyzer.
 
-     dune exec tools/lint/qcs_lint.exe -- lib bin bench test
+   Per-file mode (the default):
 
-   Walks the given files/directories for .ml sources (skipping _build and
-   dot-directories), parses each with compiler-libs and runs the
+     dune exec tools/lint/qcs_lint.exe -- lib bin bench test tools
+
+   walks the given files/directories for .ml sources (skipping _build
+   and dot-directories), parses each with compiler-libs and runs the
    Lint_rules catalog, honoring inline `(* qcs-lint: allow <rule> *)`
    suppressions and the lint.allow file. Exits non-zero iff any
-   error-severity finding survives. `--json` emits the qcs_lint/v1
-   document instead of the human listing. *)
+   error-severity finding survives.
+
+   Whole-program mode:
+
+     dune exec tools/lint/qcs_lint.exe -- --program lib bin tools
+
+   parses everything into one Callgraph model and runs the
+   inter-procedural concurrency rules (Program): parallel-reachability,
+   unguarded shared state, lock-order cycles, arena-epoch staleness.
+   With --baseline FILE the exit code ratchets against the committed
+   multiset of accepted findings (exit 1 only on findings not covered);
+   --write-baseline regenerates that file. `--json` emits qcs_lint/v1
+   (per-file) or qcs_lint/v2 (program, with whole-program stats). *)
 
 let usage =
-  "usage: qcs_lint [--json] [--allow FILE] [--rules] [paths...]\n\
+  "usage: qcs_lint [--program] [--json] [--allow FILE] [--rules r1,r2]\n\
+  \               [--baseline FILE] [--write-baseline] [--list-rules] [paths...]\n\
    Lints OCaml sources against the FlatDD rule catalog.\n\
-   With no paths, lints lib bin bench test."
+   With no paths: lib bin bench test tools (per-file), lib bin tools (--program)."
 
 let list_rules () =
   List.iter
@@ -21,32 +35,41 @@ let list_rules () =
          (Lint.severity_name r.Lint.severity)
          r.Lint.doc)
     Lint_rules.all;
+  List.iter
+    (fun (name, sev, doc) ->
+       Printf.printf "%-28s %-7s [program] %s\n" name (Lint.severity_name sev) doc)
+    Lint_rules.program;
   exit 0
-
-let rec walk acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.fold_left
-         (fun acc entry ->
-            if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
-            else walk acc (Filename.concat path entry))
-         acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
 
 let () =
   let json = ref false in
+  let program = ref false in
   let allow_file = ref "lint.allow" in
+  let baseline_file = ref "" in
+  let write_baseline = ref false in
+  let rules_filter = ref "" in
   let paths = ref [] in
   let spec =
-    [ ("--json", Arg.Set json, "emit the qcs_lint/v1 JSON document on stdout");
+    [ ("--program", Arg.Set program,
+       "whole-program mode: call graph, parallel-reachability, lock discipline");
+      ("--json", Arg.Set json, "emit the qcs_lint/v1 (or v2) JSON document");
       ("--allow", Arg.Set_string allow_file,
        "FILE allowlist of <rule> <path-prefix> pairs (default: lint.allow)");
-      ("--rules", Arg.Unit list_rules, "print the rule catalog and exit") ]
+      ("--rules", Arg.Set_string rules_filter,
+       "LIST comma-separated rule names to run (default: all)");
+      ("--baseline", Arg.Set_string baseline_file,
+       "FILE accepted-findings baseline for --program (ratchet: fail only on \
+        new findings)");
+      ("--write-baseline", Arg.Set write_baseline,
+       "regenerate the --baseline file from the current findings and exit");
+      ("--list-rules", Arg.Unit list_rules, "print the rule catalog and exit") ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   let roots =
-    match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
+    match List.rev !paths with
+    | [] -> if !program then [ "lib"; "bin"; "tools" ]
+            else [ "lib"; "bin"; "bench"; "test"; "tools" ]
+    | ps -> ps
   in
   List.iter
     (fun p ->
@@ -58,18 +81,108 @@ let () =
   let allow =
     if Sys.file_exists !allow_file then Lint.load_allow !allow_file else []
   in
-  let files = List.rev (List.fold_left walk [] roots) in
-  let findings =
-    List.concat_map (fun f -> Lint.lint_file ~rules:Lint_rules.all ~allow f) files
+  (* --rules: validate against the unified catalog, then partition per mode. *)
+  let selected =
+    match String.trim !rules_filter with
+    | "" -> None
+    | s ->
+      let names =
+        List.filter (fun n -> n <> "")
+          (List.map String.trim (String.split_on_char ',' s))
+      in
+      let known n =
+        Lint_rules.find n <> None || List.mem n Program.rule_names
+      in
+      (match List.find_opt (fun n -> not (known n)) names with
+       | Some n ->
+         Printf.eprintf "qcs_lint: unknown rule: %s (see --list-rules)\n" n;
+         exit 2
+       | None -> ());
+      Some names
   in
-  if !json then print_string (Lint.to_json ~files:(List.length files) findings)
-  else begin
-    List.iter (fun f -> print_endline (Lint.render f)) findings;
-    let count sev =
-      List.length
-        (List.filter (fun (f : Lint.finding) -> f.Lint.severity = sev) findings)
+  if !program then begin
+    (* ---- whole-program mode ---- *)
+    let model = Callgraph.build (Callgraph.load roots) in
+    let only =
+      match selected with
+      | None -> Program.rule_names
+      | Some names -> List.filter (fun n -> List.mem n names) Program.rule_names
     in
-    Printf.printf "qcs_lint: %d file(s), %d error(s), %d warning(s), %d info\n"
-      (List.length files) (count Lint.Error) (count Lint.Warning) (count Lint.Info)
-  end;
-  exit (if Lint.has_errors findings then 1 else 0)
+    let res = Program.analyze ~allow ~only model in
+    let keyed = res.Program.r_findings in
+    let findings = List.map fst keyed in
+    if !write_baseline then begin
+      let path = if !baseline_file = "" then "lint.baseline" else !baseline_file in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Program.render_baseline keyed));
+      Printf.printf "qcs_lint: wrote %d finding(s) to %s\n" (List.length keyed) path;
+      exit 0
+    end;
+    let baseline =
+      if !baseline_file = "" then None
+      else Some (Program.load_baseline !baseline_file)
+    in
+    let fresh =
+      match baseline with
+      | None -> keyed
+      | Some b -> Program.new_against_baseline ~baseline:b keyed
+    in
+    let extra =
+      res.Program.r_stats
+      @ [ ("findings", List.length keyed); ("new_findings", List.length fresh) ]
+    in
+    if !json then
+      (* [files] is a first-class v2 field; don't repeat it via the stats. *)
+      print_string
+        (Lint.to_json_v2 ~files:(List.length model.Callgraph.files)
+           ~extra:(List.remove_assoc "files" extra) findings)
+    else begin
+      List.iter (fun f -> print_endline (Lint.render f)) findings;
+      let stat k = try List.assoc k extra with Not_found -> 0 in
+      Printf.printf
+        "qcs_lint --program: %d file(s), %d definition(s), %d call edge(s), %d \
+         parallel root(s), %d parallel-reachable, %d lock edge(s)\n"
+        (stat "files") (stat "definitions") (stat "call_edges")
+        (stat "parallel_roots") (stat "parallel_reachable")
+        (stat "lock_order_edges");
+      (match baseline with
+       | Some _ ->
+         Printf.printf "qcs_lint --program: %d finding(s), %d new vs %s\n"
+           (List.length keyed) (List.length fresh) !baseline_file
+       | None ->
+         Printf.printf "qcs_lint --program: %d finding(s)\n" (List.length keyed))
+    end;
+    let fail =
+      match baseline with
+      | Some _ -> fresh <> []
+      | None -> Lint.has_errors findings
+    in
+    exit (if fail then 1 else 0)
+  end
+  else begin
+    (* ---- per-file mode ---- *)
+    let rules =
+      match selected with
+      | None -> Lint_rules.all
+      | Some names ->
+        List.filter (fun (r : Lint.rule) -> List.mem r.Lint.name names)
+          Lint_rules.all
+    in
+    let files = Callgraph.collect_files roots in
+    let findings =
+      Lint.sort_findings
+        (List.concat_map (fun f -> Lint.lint_file ~rules ~allow f) files)
+    in
+    if !json then print_string (Lint.to_json ~files:(List.length files) findings)
+    else begin
+      List.iter (fun f -> print_endline (Lint.render f)) findings;
+      let count sev =
+        List.length
+          (List.filter (fun (f : Lint.finding) -> f.Lint.severity = sev) findings)
+      in
+      Printf.printf "qcs_lint: %d file(s), %d error(s), %d warning(s), %d info\n"
+        (List.length files) (count Lint.Error) (count Lint.Warning)
+        (count Lint.Info)
+    end;
+    exit (if Lint.has_errors findings then 1 else 0)
+  end
