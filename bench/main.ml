@@ -28,6 +28,7 @@ let experiments =
     ("dispatch", Exp_dispatch.run);
     ("obs", Exp_obs.run);
     ("order", Exp_order.run);
+    ("precision", Exp_precision.run);
     ("sched", Exp_sched.run);
     ("serve", Exp_serve.run) ]
 

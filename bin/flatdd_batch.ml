@@ -71,14 +71,14 @@ let line_outcome line =
   | _ | (exception Obs.Metrics.Parse_error _) -> "unknown"
 
 let run manifest slots threads seed out no_timings strict verbose metrics metrics_json
-    dd_domains order connect tenant =
+    dd_domains order precision connect tenant =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
       Obs.set_enabled true;
       Obs.Metrics.reset ()
     end;
-    let default_config = { Config.default with Config.dd_domains; order } in
+    let default_config = { Config.default with Config.dd_domains; order; precision } in
     let text, outcomes, interrupted =
       match connect with
       | Some socket_path ->
@@ -207,6 +207,24 @@ let cmd =
                    every job (a job's own $(i,order) manifest field overrides \
                    it). Fingerprints are logical-basis and order-invariant.")
   in
+  let precision =
+    let precision_c =
+      let parse s =
+        match Config.precision_of_name s with
+        | Some p -> Ok p
+        | None -> Error (`Msg "precision is f64 | f32")
+      in
+      let print fmt p = Format.pp_print_string fmt (Config.precision_name p) in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt precision_c Config.F64
+         & info [ "precision" ]
+             ~doc:"Default amplitude-plane precision — f64 or f32 — for every \
+                   job (a job's own $(i,precision) manifest field overrides \
+                   it). f64 results are bit-identical to previous releases; \
+                   f32 halves flat-phase buffer bytes and rounds only on \
+                   stores into the flat vectors.")
+  in
   let connect =
     Arg.(value & opt (some string) None
          & info [ "connect" ] ~docv:"SOCKET"
@@ -219,7 +237,8 @@ let cmd =
   in
   let term =
     Term.(const run $ manifest $ slots $ threads $ seed $ out $ no_timings $ strict
-          $ verbose $ metrics $ metrics_json $ dd_domains $ order $ connect $ tenant)
+          $ verbose $ metrics $ metrics_json $ dd_domains $ order $ precision $ connect
+          $ tenant)
   in
   Cmd.v
     (Cmd.info "flatdd_batch"

@@ -46,6 +46,15 @@ let order_conv =
   let print fmt o = Format.pp_print_string fmt (Config.order_name o) in
   Arg.conv (parse, print)
 
+let precision_conv =
+  let parse s =
+    match Config.precision_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "precision is f64 | f32")
+  in
+  let print fmt p = Format.pp_print_string fmt (Config.precision_name p) in
+  Arg.conv (parse, print)
+
 let load_circuit ~name ~qasm ~n ~gates ~seed =
   match qasm with
   | Some path ->
@@ -75,7 +84,7 @@ let print_top_amplitudes buf count =
   done
 
 let run engine family qasm n gates seed threads beta epsilon fusion dispatch trace top
-    export metrics metrics_json compact_every dd_domains dd_task_depth order =
+    export metrics metrics_json compact_every dd_domains dd_task_depth order precision =
   try
     let metrics_wanted = metrics || metrics_json <> None in
     if metrics_wanted then begin
@@ -96,12 +105,15 @@ let run engine family qasm n gates seed threads beta epsilon fusion dispatch tra
     if order <> Config.No_order && engine <> Flatdd_engine then
       Printf.eprintf
         "note: --order only applies to the flatdd engine; ignored here\n%!";
+    if precision <> Config.F64 && engine = Dd_engine then
+      Printf.eprintf
+        "note: the dd engine always computes in f64; --precision ignored here\n%!";
     (match engine with
      | Flatdd_engine ->
        let cfg =
          { Config.default with
            Config.threads; beta; epsilon; fusion; trace; dense_dispatch = dispatch;
-           dd_domains; dd_task_depth; order }
+           dd_domains; dd_task_depth; order; precision }
        in
        let r, dt = Timer.time (fun () -> Simulator.simulate cfg circuit) in
        Printf.printf "engine: flatdd (%d threads, %d dd domains, beta=%.2f eps=%.2f)\n"
@@ -109,6 +121,9 @@ let run engine family qasm n gates seed threads beta epsilon fusion dispatch tra
        (match order with
         | Config.No_order -> ()
         | o -> Printf.printf "order: %s\n" (Config.order_name o));
+       (match precision with
+        | Config.F64 -> ()
+        | p -> Printf.printf "precision: %s\n" (Config.precision_name p));
        Printf.printf "runtime: %.4f s  (dd %.4f | convert %.4f | dmav %.4f)\n" dt
          r.Simulator.seconds_dd r.Simulator.seconds_convert r.Simulator.seconds_dmav;
        (match r.Simulator.converted_at with
@@ -173,15 +188,30 @@ let run engine family qasm n gates seed threads beta epsilon fusion dispatch tra
        if top > 0 then
          print_top_amplitudes (Ddsim.final_amplitudes r circuit.Circuit.n) top
      | Array_engine ->
-       let st, dt =
-         Timer.time (fun () ->
-             Pool.with_pool threads (fun pool -> Apply.run ~pool circuit))
-       in
-       Printf.printf "engine: array (%d threads)\n" threads;
-       Printf.printf "runtime: %.4f s\n" dt;
-       Printf.printf "memory: %.2f MB\n"
-         (float_of_int (Buf.memory_bytes st.State.amps) /. 1048576.0);
-       if top > 0 then print_top_amplitudes st.State.amps top);
+       (match precision with
+        | Config.F64 ->
+          (* The specialized f64 kernels — byte-identical to every release
+             before --precision existed. *)
+          let st, dt =
+            Timer.time (fun () ->
+                Pool.with_pool threads (fun pool -> Apply.run ~pool circuit))
+          in
+          Printf.printf "engine: array (%d threads, f64)\n" threads;
+          Printf.printf "runtime: %.4f s\n" dt;
+          Printf.printf "memory: %.2f MB\n"
+            (float_of_int (Buf.memory_bytes st.State.amps) /. 1048576.0);
+          if top > 0 then print_top_amplitudes st.State.amps top
+        | Config.F32 ->
+          let cfg = { Config.default with Config.threads; precision } in
+          let r, dt =
+            Timer.time (fun () ->
+                Driver.run_engine (module Dense32_engine) cfg circuit)
+          in
+          Printf.printf "engine: array (%d threads, f32)\n" threads;
+          Printf.printf "runtime: %.4f s\n" dt;
+          Printf.printf "memory: %.2f MB\n"
+            (float_of_int r.Driver.peak_memory_bytes /. 1048576.0);
+          if top > 0 then print_top_amplitudes (Driver.amplitudes r) top));
     if metrics_wanted then begin
       let snap = Obs.Metrics.snapshot () in
       (match metrics_json with
@@ -274,10 +304,18 @@ let cmd =
                    when the EWMA policy would otherwise convert. Results are \
                    always reported in the circuit's own (logical) basis.")
   in
+  let precision =
+    Arg.(value & opt precision_conv Config.F64
+         & info [ "precision" ]
+             ~doc:"Amplitude-plane storage precision: f64 (default; bit-identical \
+                   to previous releases) or f32 (half the buffer bytes; the DD \
+                   phase, gate matrices and ctable weights stay f64 and rounding \
+                   happens only on stores into the flat vectors).")
+  in
   let term =
     Term.(const run $ engine $ family $ qasm $ n $ gates $ seed $ threads $ beta
           $ epsilon $ fusion $ dispatch $ trace $ top $ export $ metrics $ metrics_json
-          $ compact_every $ dd_domains $ dd_task_depth $ order)
+          $ compact_every $ dd_domains $ dd_task_depth $ order $ precision)
   in
   Cmd.v (Cmd.info "flatdd" ~doc:"Hybrid decision-diagram / flat-array quantum circuit simulator") term
 

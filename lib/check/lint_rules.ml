@@ -398,6 +398,70 @@ let node_alloc_outside_arena =
              lib/dd; edges must come from the Dd API"
         | _ -> ())
 
+(* --- boxed-cnum-in-hot-loop ------------------------------------------- *)
+
+(* The PR-10 storage refactor moved every kernel inner loop onto the
+   unboxed Storage primitives: bare-float get_re/get_im/set2/madd2 calls
+   that never construct a [Cnum.t] and never pay the checked [Buf.get]
+   bounds test per element. A boxed call creeping back into a loop in the
+   hot libraries (dmav, convert, statevec) re-introduces an allocation
+   per amplitude — invisible to tests, ruinous to bandwidth. Syntactic
+   net: any reference to a Cnum constructor/arithmetic or checked Buf
+   element access lexically inside a [for]/[while] body in those paths.
+   Boxed calls in straight-line (per-gate, not per-element) code are
+   fine and not flagged. The deliberately boxed reference kernel
+   (statevec/qpp_kernel.ml) carries a lint.allow entry. *)
+let boxed_names =
+  [ "Cnum.mul"; "Cnum.add"; "Cnum.make"; "Buf.get"; "Buf.set";
+    "Storage.F64.get"; "Storage.F64.set"; "Storage.F32.get"; "Storage.F32.set" ]
+
+let boxed_cnum_in_hot_loop =
+  let rule =
+    stub "boxed-cnum-in-hot-loop" Lint.Error
+      "boxed Cnum construction or checked per-element Buf access inside a \
+       kernel loop in lib/dmav, lib/convert or lib/statevec"
+  in
+  let applies path =
+    List.exists
+      (fun p -> String.starts_with ~prefix:p path)
+      [ "lib/dmav/"; "lib/convert/"; "lib/statevec/" ]
+  in
+  { rule with
+    Lint.ast =
+      Some
+        (fun ctx prev ->
+           (* Nested loops visit inner bodies twice (outer walk + inner
+              walk); dedupe per file so each call site reports once. *)
+           let seen = Hashtbl.create 32 in
+           let check_loop body =
+             iter_exprs
+               (fun e ->
+                  match ident_of e with
+                  | Some id when List.mem id boxed_names ->
+                    let pos = e.pexp_loc.Location.loc_start in
+                    let key = (pos.Lexing.pos_lnum, pos.Lexing.pos_cnum) in
+                    if not (Hashtbl.mem seen key) then begin
+                      Hashtbl.replace seen key ();
+                      Lint.report ctx ~rule ~loc:e.pexp_loc
+                        (id
+                         ^ " inside a loop boxes a complex (or bounds-checks) per \
+                            element; use the unboxed Storage primitives \
+                            (get_re/get_im, set2, madd2) or hoist it out of the \
+                            loop")
+                    end
+                  | _ -> ())
+               body
+           in
+           { prev with
+             Ast_iterator.expr =
+               (fun self e ->
+                  (if applies ctx.Lint.src.Lint.path then
+                     match e.pexp_desc with
+                     | Pexp_for (_, _, _, _, body) -> check_loop body
+                     | Pexp_while (_, body) -> check_loop body
+                     | _ -> ());
+                  prev.Ast_iterator.expr self e) }) }
+
 (* --- todo-marker ------------------------------------------------------ *)
 
 (* The words themselves would trip the scan. qcs-lint: allow todo-marker *)
@@ -433,7 +497,7 @@ let todo_marker =
 
 let all =
   [ float_eq; obj_magic; unsafe_array; catchall_exn; mutex_discipline; naked_hashtbl;
-    printf_in_lib; node_alloc_outside_arena; todo_marker ]
+    printf_in_lib; node_alloc_outside_arena; boxed_cnum_in_hot_loop; todo_marker ]
 
 let find name = List.find_opt (fun r -> r.Lint.name = name) all
 

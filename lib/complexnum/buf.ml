@@ -1,124 +1,14 @@
-type t = { data : float array; len : int }
+(* Flat complex vectors at the default f64 precision.
 
-let create len =
-  if len < 0 then invalid_arg "Buf.create";
-  { data = Array.make (2 * len) 0.0; len }
+   [Buf] is an alias for [Storage.F64] — see storage.mli for the API
+   documentation. It is a plain [include] (no .mli) so that
+   [Buf.t = Storage.F64.t] holds definitionally: kernels functorized over
+   [Storage.S] and instantiated at [Storage.F64] interoperate with every
+   existing [Buf.t]-typed signature, and kind-specialized kernels can read
+   [v.Buf.data] as a concrete float64 bigarray. *)
 
-let length t = t.len
+include Storage.F64
 
-let get t i = { Cnum.re = t.data.(2 * i); im = t.data.((2 * i) + 1) }
-
-let set t i (c : Cnum.t) =
-  t.data.(2 * i) <- c.re;
-  t.data.((2 * i) + 1) <- c.im
-
-let get_re t i = t.data.(2 * i)
-let get_im t i = t.data.((2 * i) + 1)
-
-let init len f =
-  let t = create len in
-  for i = 0 to len - 1 do
-    set t i (f i)
-  done;
-  t
-
-let madd t i (w : Cnum.t) (x : Cnum.t) =
-  let re = (w.re *. x.re) -. (w.im *. x.im) in
-  let im = (w.re *. x.im) +. (w.im *. x.re) in
-  let d = t.data in
-  d.(2 * i) <- d.(2 * i) +. re;
-  d.((2 * i) + 1) <- d.((2 * i) + 1) +. im
-
-let fill_zero t = Array.fill t.data 0 (2 * t.len) 0.0
-
-let fill_zero_range t ~pos ~len = Array.fill t.data (2 * pos) (2 * len) 0.0
-
-let blit ~src ~src_pos ~dst ~dst_pos ~len =
-  Array.blit src.data (2 * src_pos) dst.data (2 * dst_pos) (2 * len)
-
-let scale_into ~src ~src_pos ~dst ~dst_pos ~len (s : Cnum.t) =
-  let sd = src.data and dd = dst.data in
-  let sre = s.re and sim = s.im in
-  let sp = ref (2 * src_pos) and dp = ref (2 * dst_pos) in
-  for _k = 0 to len - 1 do
-    let re = sd.(!sp) and im = sd.(!sp + 1) in
-    dd.(!dp) <- (sre *. re) -. (sim *. im);
-    dd.(!dp + 1) <- (sre *. im) +. (sim *. re);
-    sp := !sp + 2;
-    dp := !dp + 2
-  done
-
-let add_into ~src ~src_pos ~dst ~dst_pos ~len =
-  let sd = src.data and dd = dst.data in
-  let sp = 2 * src_pos and dp = 2 * dst_pos in
-  for k = 0 to (2 * len) - 1 do
-    dd.(dp + k) <- dd.(dp + k) +. sd.(sp + k)
-  done
-
-let scale_add_into ~src ~src_pos ~dst ~dst_pos ~len (s : Cnum.t) =
-  let sd = src.data and dd = dst.data in
-  let sre = s.re and sim = s.im in
-  let sp = ref (2 * src_pos) and dp = ref (2 * dst_pos) in
-  for _k = 0 to len - 1 do
-    let re = sd.(!sp) and im = sd.(!sp + 1) in
-    dd.(!dp) <- dd.(!dp) +. ((sre *. re) -. (sim *. im));
-    dd.(!dp + 1) <- dd.(!dp + 1) +. ((sre *. im) +. (sim *. re));
-    sp := !sp + 2;
-    dp := !dp + 2
-  done
-
-let copy t = { data = Array.copy t.data; len = t.len }
-
-let sub_vector t ~pos ~len =
-  let r = create len in
-  blit ~src:t ~src_pos:pos ~dst:r ~dst_pos:0 ~len;
-  r
-
-let norm2 t =
-  let acc = ref 0.0 in
-  let d = t.data in
-  for k = 0 to (2 * t.len) - 1 do
-    acc := !acc +. (d.(k) *. d.(k))
-  done;
-  !acc
-
-let fidelity a b =
-  if a.len <> b.len then invalid_arg "Buf.fidelity: length mismatch";
-  (* <a|b> = sum conj(a_i) * b_i *)
-  let re = ref 0.0 and im = ref 0.0 in
-  for i = 0 to a.len - 1 do
-    let are = a.data.(2 * i) and aim = a.data.((2 * i) + 1) in
-    let bre = b.data.(2 * i) and bim = b.data.((2 * i) + 1) in
-    re := !re +. ((are *. bre) +. (aim *. bim));
-    im := !im +. ((are *. bim) -. (aim *. bre))
-  done;
-  (!re *. !re) +. (!im *. !im)
-
-let max_abs_diff a b =
-  if a.len <> b.len then invalid_arg "Buf.max_abs_diff: length mismatch";
-  let worst = ref 0.0 in
-  for i = 0 to a.len - 1 do
-    let dre = a.data.(2 * i) -. b.data.(2 * i) in
-    let dim = a.data.((2 * i) + 1) -. b.data.((2 * i) + 1) in
-    let d = sqrt ((dre *. dre) +. (dim *. dim)) in
-    if d > !worst then worst := d
-  done;
-  !worst
-
-let to_array t = Array.init t.len (get t)
-
-let of_array a =
-  let t = create (Array.length a) in
-  Array.iteri (set t) a;
-  t
-
-let memory_bytes t = (16 * t.len) + 24
-
-let pp fmt t =
-  Format.fprintf fmt "[";
-  for i = 0 to Int.min (t.len - 1) 15 do
-    if i > 0 then Format.fprintf fmt "; ";
-    Cnum.pp fmt (get t i)
-  done;
-  if t.len > 16 then Format.fprintf fmt "; …(%d)" t.len;
-  Format.fprintf fmt "]"
+type precision_witness = Storage.F64.elt
+(* Reminder that this module must stay the F64 instance: the driver's
+   default paths promise byte-identical f64 results. *)

@@ -1,0 +1,4 @@
+(* Flat complex vectors at float32 precision: [Storage.F32] under the
+   name the rest of the codebase uses alongside [Buf]. See storage.mli. *)
+
+include Storage.F32

@@ -319,6 +319,16 @@ let value_of_id t i =
   if i < 0 || i >= Atomic.get t.next_id then invalid_arg "Ctable.value_of_id";
   t.values.(i)
 
+(* Unboxed single-plane reads with [value_of_id]'s bounds contract, for
+   hot paths that fold weights without constructing a [Cnum.t]. *)
+let re_of_id t i =
+  if i < 0 || i >= Atomic.get t.next_id then invalid_arg "Ctable.re_of_id";
+  t.re.(i)
+
+let im_of_id t i =
+  if i < 0 || i >= Atomic.get t.next_id then invalid_arg "Ctable.im_of_id";
+  t.im.(i)
+
 let re_array t = t.re
 let im_array t = t.im
 

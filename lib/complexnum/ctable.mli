@@ -66,6 +66,13 @@ val value_of_id : t -> int -> Cnum.t
     value. Raises [Invalid_argument] on an id never issued (or issued
     before the last {!clear}). *)
 
+val re_of_id : t -> int -> float
+(** Real part of {!value_of_id}[ t i] as a bare float — same bounds
+    contract, no allocation. *)
+
+val im_of_id : t -> int -> float
+(** Imaginary counterpart of {!re_of_id}. *)
+
 val re_array : t -> float array
 (** The unboxed real plane of the reverse map, indexed by id. Valid for
     ids below {!count}; the array itself is replaced when the table grows,

@@ -1,0 +1,353 @@
+(* Precision-abstracted flat complex storage ("the array" in FlatDD).
+
+   Amplitudes live interleaved — element [2i] is the real part and [2i+1]
+   the imaginary part of amplitude [i] — in one Bigarray.Array1, which is
+   the closest OCaml equivalent of the paper's aligned [double2] arrays and
+   is directly addressable from future C SIMD stubs (the data pointer is a
+   raw, GC-stable malloc'd block).
+
+   Two precisions are provided: [F64] (the default, bit-compatible with the
+   old float-array [Buf]) and [F32] (half the bytes per amplitude; stores
+   round to nearest float32, loads widen back to double, so all arithmetic
+   still happens in double precision).
+
+   Layout note: the per-element hot loops are written twice, once per kind
+   (Core64/Core32), because OCaml only emits specialized bigarray access
+   when the element kind is statically known at the access site. A functor
+   body over an abstract kind would fall back to the generic C accessor for
+   every load, which is unacceptable in the stripe kernels. The shared cold
+   API (init, copy, printing, Cnum-boxed accessors) is layered on top once,
+   in [Extend]. *)
+
+(* The bigarray custom block on 64-bit: block header (8) + custom_operations
+   pointer (8) + struct caml_ba_array {data ptr, num_dims, flags, proxy,
+   dim[1]} (40) = 64 bytes of overhead before the payload. *)
+let bigarray_header_bytes = 64
+
+module type CORE = sig
+  type elt
+  type buffer = (float, elt, Bigarray.c_layout) Bigarray.Array1.t
+  type t = { data : buffer; len : int }
+
+  val kind : (float, elt) Bigarray.kind
+  val label : string
+  val bytes_per_float : int
+  val get_re : t -> int -> float
+  val get_im : t -> int -> float
+  val unsafe_get_re : t -> int -> float
+  val unsafe_get_im : t -> int -> float
+  val set2 : t -> int -> float -> float -> unit
+  val madd2 : t -> int -> wre:float -> wim:float -> xre:float -> xim:float -> unit
+
+  val scale2_into :
+    src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> sre:float -> sim:float -> unit
+
+  val add_into : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+  val scale2_add_into :
+    src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> sre:float -> sim:float -> unit
+
+  val norm2 : t -> float
+end
+
+module Core64 = struct
+  type elt = Bigarray.float64_elt
+  type buffer = (float, elt, Bigarray.c_layout) Bigarray.Array1.t
+  type t = { data : buffer; len : int }
+
+  let kind : (float, elt) Bigarray.kind = Bigarray.float64
+  let label = "f64"
+  let bytes_per_float = 8
+  let get_re t i = t.data.{2 * i}
+  let get_im t i = t.data.{(2 * i) + 1}
+  let unsafe_get_re t i = Bigarray.Array1.unsafe_get t.data (2 * i)
+  let unsafe_get_im t i = Bigarray.Array1.unsafe_get t.data ((2 * i) + 1)
+
+  let set2 t i re im =
+    t.data.{2 * i} <- re;
+    t.data.{(2 * i) + 1} <- im
+
+  let madd2 t i ~wre ~wim ~xre ~xim =
+    let d = t.data in
+    let re = (wre *. xre) -. (wim *. xim) in
+    let im = (wre *. xim) +. (wim *. xre) in
+    d.{2 * i} <- d.{2 * i} +. re;
+    d.{(2 * i) + 1} <- d.{(2 * i) + 1} +. im
+
+  let scale2_into ~src ~src_pos ~dst ~dst_pos ~len ~sre ~sim =
+    let sd = src.data and dd = dst.data in
+    let sp = ref (2 * src_pos) and dp = ref (2 * dst_pos) in
+    for _k = 0 to len - 1 do
+      let re = sd.{!sp} and im = sd.{!sp + 1} in
+      dd.{!dp} <- (sre *. re) -. (sim *. im);
+      dd.{!dp + 1} <- (sre *. im) +. (sim *. re);
+      sp := !sp + 2;
+      dp := !dp + 2
+    done
+
+  let add_into ~src ~src_pos ~dst ~dst_pos ~len =
+    let sd = src.data and dd = dst.data in
+    let sp = 2 * src_pos and dp = 2 * dst_pos in
+    for k = 0 to (2 * len) - 1 do
+      dd.{dp + k} <- dd.{dp + k} +. sd.{sp + k}
+    done
+
+  let scale2_add_into ~src ~src_pos ~dst ~dst_pos ~len ~sre ~sim =
+    let sd = src.data and dd = dst.data in
+    let sp = ref (2 * src_pos) and dp = ref (2 * dst_pos) in
+    for _k = 0 to len - 1 do
+      let re = sd.{!sp} and im = sd.{!sp + 1} in
+      dd.{!dp} <- dd.{!dp} +. ((sre *. re) -. (sim *. im));
+      dd.{!dp + 1} <- dd.{!dp + 1} +. ((sre *. im) +. (sim *. re));
+      sp := !sp + 2;
+      dp := !dp + 2
+    done
+
+  let norm2 t =
+    let acc = ref 0.0 in
+    let d = t.data in
+    for k = 0 to (2 * t.len) - 1 do
+      acc := !acc +. (d.{k} *. d.{k})
+    done;
+    !acc
+end
+
+module Core32 = struct
+  type elt = Bigarray.float32_elt
+  type buffer = (float, elt, Bigarray.c_layout) Bigarray.Array1.t
+  type t = { data : buffer; len : int }
+
+  let kind : (float, elt) Bigarray.kind = Bigarray.float32
+  let label = "f32"
+  let bytes_per_float = 4
+  let get_re t i = t.data.{2 * i}
+  let get_im t i = t.data.{(2 * i) + 1}
+  let unsafe_get_re t i = Bigarray.Array1.unsafe_get t.data (2 * i)
+  let unsafe_get_im t i = Bigarray.Array1.unsafe_get t.data ((2 * i) + 1)
+
+  let set2 t i re im =
+    t.data.{2 * i} <- re;
+    t.data.{(2 * i) + 1} <- im
+
+  let madd2 t i ~wre ~wim ~xre ~xim =
+    let d = t.data in
+    let re = (wre *. xre) -. (wim *. xim) in
+    let im = (wre *. xim) +. (wim *. xre) in
+    d.{2 * i} <- d.{2 * i} +. re;
+    d.{(2 * i) + 1} <- d.{(2 * i) + 1} +. im
+
+  let scale2_into ~src ~src_pos ~dst ~dst_pos ~len ~sre ~sim =
+    let sd = src.data and dd = dst.data in
+    let sp = ref (2 * src_pos) and dp = ref (2 * dst_pos) in
+    for _k = 0 to len - 1 do
+      let re = sd.{!sp} and im = sd.{!sp + 1} in
+      dd.{!dp} <- (sre *. re) -. (sim *. im);
+      dd.{!dp + 1} <- (sre *. im) +. (sim *. re);
+      sp := !sp + 2;
+      dp := !dp + 2
+    done
+
+  let add_into ~src ~src_pos ~dst ~dst_pos ~len =
+    let sd = src.data and dd = dst.data in
+    let sp = 2 * src_pos and dp = 2 * dst_pos in
+    for k = 0 to (2 * len) - 1 do
+      dd.{dp + k} <- dd.{dp + k} +. sd.{sp + k}
+    done
+
+  let scale2_add_into ~src ~src_pos ~dst ~dst_pos ~len ~sre ~sim =
+    let sd = src.data and dd = dst.data in
+    let sp = ref (2 * src_pos) and dp = ref (2 * dst_pos) in
+    for _k = 0 to len - 1 do
+      let re = sd.{!sp} and im = sd.{!sp + 1} in
+      dd.{!dp} <- dd.{!dp} +. ((sre *. re) -. (sim *. im));
+      dd.{!dp + 1} <- dd.{!dp + 1} +. ((sre *. im) +. (sim *. re));
+      sp := !sp + 2;
+      dp := !dp + 2
+    done
+
+  let norm2 t =
+    let acc = ref 0.0 in
+    let d = t.data in
+    for k = 0 to (2 * t.len) - 1 do
+      acc := !acc +. (d.{k} *. d.{k})
+    done;
+    !acc
+end
+
+module type S = sig
+  type elt
+  type buffer = (float, elt, Bigarray.c_layout) Bigarray.Array1.t
+  type t = private { data : buffer; len : int }
+
+  val kind : (float, elt) Bigarray.kind
+  val label : string
+  val bytes_per_float : int
+  val bytes_per_amp : int
+  val buffer_bytes : len:int -> int
+  val create : int -> t
+  val init : int -> (int -> Cnum.t) -> t
+  val length : t -> int
+  val get : t -> int -> Cnum.t
+  val set : t -> int -> Cnum.t -> unit
+  val get_re : t -> int -> float
+  val get_im : t -> int -> float
+  val unsafe_get_re : t -> int -> float
+  val unsafe_get_im : t -> int -> float
+  val set2 : t -> int -> float -> float -> unit
+  val madd : t -> int -> Cnum.t -> Cnum.t -> unit
+  val madd2 : t -> int -> wre:float -> wim:float -> xre:float -> xim:float -> unit
+  val fill_zero : t -> unit
+  val fill_zero_range : t -> pos:int -> len:int -> unit
+  val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+  val scale_into :
+    src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> Cnum.t -> unit
+
+  val scale2_into :
+    src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> sre:float -> sim:float -> unit
+
+  val add_into : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+  val scale_add_into :
+    src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> Cnum.t -> unit
+
+  val scale2_add_into :
+    src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> sre:float -> sim:float -> unit
+
+  val copy : t -> t
+  val sub_vector : t -> pos:int -> len:int -> t
+  val norm2 : t -> float
+  val fidelity : t -> t -> float
+  val max_abs_diff : t -> t -> float
+  val to_array : t -> Cnum.t array
+  val of_array : Cnum.t array -> t
+  val memory_bytes : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Extend (C : CORE) = struct
+  include C
+
+  let bytes_per_amp = 2 * C.bytes_per_float
+  let buffer_bytes ~len = (2 * len * C.bytes_per_float) + bigarray_header_bytes
+
+  let create len =
+    if len < 0 then invalid_arg "Buf.create";
+    let data = Bigarray.Array1.create C.kind Bigarray.c_layout (2 * len) in
+    Bigarray.Array1.fill data 0.0;
+    { data; len }
+
+  let length t = t.len
+  let get t i = { Cnum.re = get_re t i; im = get_im t i }
+  let set t i (c : Cnum.t) = set2 t i c.re c.im
+
+  let init len f =
+    let t = create len in
+    for i = 0 to len - 1 do
+      set t i (f i)
+    done;
+    t
+
+  let madd t i (w : Cnum.t) (x : Cnum.t) =
+    madd2 t i ~wre:w.re ~wim:w.im ~xre:x.re ~xim:x.im
+
+  let fill_zero t = Bigarray.Array1.fill t.data 0.0
+
+  let fill_zero_range t ~pos ~len =
+    Bigarray.Array1.fill (Bigarray.Array1.sub t.data (2 * pos) (2 * len)) 0.0
+
+  let blit ~src ~src_pos ~dst ~dst_pos ~len =
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub src.data (2 * src_pos) (2 * len))
+      (Bigarray.Array1.sub dst.data (2 * dst_pos) (2 * len))
+
+  let scale_into ~src ~src_pos ~dst ~dst_pos ~len (s : Cnum.t) =
+    scale2_into ~src ~src_pos ~dst ~dst_pos ~len ~sre:s.re ~sim:s.im
+
+  let scale_add_into ~src ~src_pos ~dst ~dst_pos ~len (s : Cnum.t) =
+    scale2_add_into ~src ~src_pos ~dst ~dst_pos ~len ~sre:s.re ~sim:s.im
+
+  let copy t =
+    let r = create t.len in
+    blit ~src:t ~src_pos:0 ~dst:r ~dst_pos:0 ~len:t.len;
+    r
+
+  let sub_vector t ~pos ~len =
+    let r = create len in
+    blit ~src:t ~src_pos:pos ~dst:r ~dst_pos:0 ~len;
+    r
+
+  let fidelity a b =
+    if a.len <> b.len then invalid_arg "Buf.fidelity: length mismatch";
+    (* <a|b> = sum conj(a_i) * b_i *)
+    let re = ref 0.0 and im = ref 0.0 in
+    for i = 0 to a.len - 1 do
+      let are = get_re a i and aim = get_im a i in
+      let bre = get_re b i and bim = get_im b i in
+      re := !re +. ((are *. bre) +. (aim *. bim));
+      im := !im +. ((are *. bim) -. (aim *. bre))
+    done;
+    (!re *. !re) +. (!im *. !im)
+
+  let max_abs_diff a b =
+    if a.len <> b.len then invalid_arg "Buf.max_abs_diff: length mismatch";
+    let worst = ref 0.0 in
+    for i = 0 to a.len - 1 do
+      let dre = get_re a i -. get_re b i in
+      let dim = get_im a i -. get_im b i in
+      let d = sqrt ((dre *. dre) +. (dim *. dim)) in
+      if d > !worst then worst := d
+    done;
+    !worst
+
+  let to_array t = Array.init t.len (get t)
+
+  let of_array a =
+    let t = create (Array.length a) in
+    Array.iteri (set t) a;
+    t
+
+  (* Exact: payload bytes from the element kind, plus the bigarray custom
+     block (64 bytes) and the {data; len} record (3 words). *)
+  let memory_bytes t = buffer_bytes ~len:t.len + 24
+
+  let pp fmt t =
+    Format.fprintf fmt "[";
+    for i = 0 to Int.min (t.len - 1) 15 do
+      if i > 0 then Format.fprintf fmt "; ";
+      Cnum.pp fmt (get t i)
+    done;
+    if t.len > 16 then Format.fprintf fmt "; …(%d)" t.len;
+    Format.fprintf fmt "]"
+end
+
+module F64 = Extend (Core64)
+module F32 = Extend (Core32)
+
+let demote (src : F64.t) : F32.t =
+  let n = F64.length src in
+  let dst = F32.create n in
+  for i = 0 to n - 1 do
+    F32.set2 dst i (F64.get_re src i) (F64.get_im src i)
+  done;
+  dst
+
+let promote (src : F32.t) : F64.t =
+  let n = F32.length src in
+  let dst = F64.create n in
+  for i = 0 to n - 1 do
+    F64.set2 dst i (F32.get_re src i) (F32.get_im src i)
+  done;
+  dst
+
+let max_abs_diff_mixed (a : F64.t) (b : F32.t) =
+  if F64.length a <> F32.length b then
+    invalid_arg "Storage.max_abs_diff_mixed: length mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to F64.length a - 1 do
+    let dre = F64.get_re a i -. F32.get_re b i in
+    let dim = F64.get_im a i -. F32.get_im b i in
+    let d = sqrt ((dre *. dre) +. (dim *. dim)) in
+    if d > !worst then worst := d
+  done;
+  !worst

@@ -32,7 +32,7 @@ let sequential p ~n (e : Dd.vedge) =
       let wre' = (wre *. er) -. (wim *. ei)
       and wim' = (wre *. ei) +. (wim *. er) in
       let node = Dd.edge_tgt e in
-      if node = 0 then Buf.set buf offset { Cnum.re = wre'; im = wim' }
+      if node = 0 then Buf.set2 buf offset wre' wim'
       else begin
         walk v.Dd.ch.(2 * node) offset wre' wim';
         walk v.Dd.ch.((2 * node) + 1)
@@ -111,7 +111,7 @@ let parallel p ~pool ~n (e : Dd.vedge) =
   let task_array = Array.of_list !tasks in
   let v = Dd.vview p in
   let rec convert (node : int) offset wre wim =
-    if node = 0 then Buf.set buf offset { Cnum.re = wre; im = wim }
+    if node = 0 then Buf.set2 buf offset wre wim
     else begin
       let half = 1 lsl v.Dd.lv.(node) in
       let e0 = v.Dd.ch.(2 * node) and e1 = v.Dd.ch.((2 * node) + 1) in
@@ -125,11 +125,15 @@ let parallel p ~pool ~n (e : Dd.vedge) =
       if e0 <> 0 && e1 <> 0 && Dd.edge_tgt e0 = Dd.edge_tgt e1 then begin
         descend e0 offset;
         let w0 = Dd.edge_wid e0 and w1 = Dd.edge_wid e1 in
-        Buf.scale_into ~src:buf ~src_pos:offset ~dst:buf ~dst_pos:(offset + half)
+        (* Inline complex division, term for term the same as [Cnum.div],
+           so the scaled half stays bit-identical to the boxed walk. *)
+        let bre = v.Dd.re.(w0) and bim = v.Dd.im.(w0) in
+        let are = v.Dd.re.(w1) and aim = v.Dd.im.(w1) in
+        let d = (bre *. bre) +. (bim *. bim) in
+        Buf.scale2_into ~src:buf ~src_pos:offset ~dst:buf ~dst_pos:(offset + half)
           ~len:half
-          (Cnum.div
-             { Cnum.re = v.Dd.re.(w1); im = v.Dd.im.(w1) }
-             { Cnum.re = v.Dd.re.(w0); im = v.Dd.im.(w0) })
+          ~sre:(((are *. bre) +. (aim *. bim)) /. d)
+          ~sim:(((aim *. bre) -. (are *. bim)) /. d)
       end
       else begin
         if e0 <> 0 then descend e0 offset;

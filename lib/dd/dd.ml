@@ -878,35 +878,45 @@ let sift_pass ?(max_rounds = 2) p ~root ~levels =
       Obs.set_gauge g_sift_nodes_after after;
       (perm, before, after))
 
+(* Both walks fold the path weight as two bare floats read straight off
+   the ctable planes; the inline multiply matches [Cnum.mul] term for
+   term, so the result is bit-identical to the boxed fold and only the
+   final returned record allocates. *)
 let vamplitude p (e : vedge) i =
-  let rec go (e : vedge) acc =
+  let rec go (e : vedge) accre accim =
     if e = 0 then Cnum.zero
     else begin
-      let acc = Cnum.mul acc (vw p e) in
+      let wid = edge_wid e in
+      let wre = Ctable.re_of_id p.ct wid and wim = Ctable.im_of_id p.ct wid in
+      let accre' = (accre *. wre) -. (accim *. wim) in
+      let accim' = (accre *. wim) +. (accim *. wre) in
       let n = edge_tgt e in
-      if n = 0 then acc
+      if n = 0 then { Cnum.re = accre'; im = accim' }
       else
         go
           (Node_store.child2 p.va n (Bits.bit i (Node_store.level p.va n)))
-          acc
+          accre' accim'
     end
   in
-  go e Cnum.one
+  go e 1.0 0.0
 
 let mentry p (e : medge) row col =
-  let rec go (e : medge) acc =
+  let rec go (e : medge) accre accim =
     if e = 0 then Cnum.zero
     else begin
-      let acc = Cnum.mul acc (mw p e) in
+      let wid = edge_wid e in
+      let wre = Ctable.re_of_id p.ct wid and wim = Ctable.im_of_id p.ct wid in
+      let accre' = (accre *. wre) -. (accim *. wim) in
+      let accim' = (accre *. wim) +. (accim *. wre) in
       let n = edge_tgt e in
-      if n = 0 then acc
+      if n = 0 then { Cnum.re = accre'; im = accim' }
       else
         let lvl = Node_store.level p.ma n in
         let i = Bits.bit row lvl and j = Bits.bit col lvl in
-        go (Node_store.child4 p.ma n ((2 * i) + j)) acc
+        go (Node_store.child4 p.ma n ((2 * i) + j)) accre' accim'
     end
   in
-  go e Cnum.one
+  go e 1.0 0.0
 
 (* ------------------------------------------------------------------ *)
 (* Maintenance                                                         *)

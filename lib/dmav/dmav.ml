@@ -1,41 +1,57 @@
 (* The Run recursion (Algorithm 1) carries the accumulated weight product
-   as two unboxed floats to keep the hot path allocation-free. The level
-   parameter of the paper is implicit in each node's own level. Kernels
-   run on the package's raw matrix-arena view — packed child edges and
-   unboxed weight planes — so a node visit is three array reads, no
-   dereference chains. The view stays valid for the whole apply because
-   nothing allocates DD nodes or interns weights inside the kernels. *)
-(* W[iw] += (f·ew) · V[iv] — the MAC the cost model counts. *)
-let[@inline] mac (mv : Dd.view) (e : int) (v : float array) (w : float array)
-    iv iw fre fim =
+   in a per-worker mutable float-pair scratch record to keep the hot path
+   allocation-free: float *arguments* are boxed at every non-inlined call
+   in OCaml's native calling convention (4 minor words per visit — one
+   box per component), while an all-float record is flat and its field
+   reads/writes are unboxed. Each call copies the pair into locals at
+   entry and re-stores the child's product before each recursive call, so
+   the float expression trees — and therefore the result bits — are
+   exactly those of the boxed-argument formulation. The level parameter
+   of the paper is implicit in each node's own level. Kernels run on the
+   package's raw matrix-arena view — packed child edges and unboxed
+   weight planes — so a node visit is three array reads, no dereference
+   chains. The view stays valid for the whole apply because nothing
+   allocates DD nodes or interns weights inside the kernels. *)
+type weight_scratch = { mutable fre : float; mutable fim : float }
+
+(* W[iw] += (f·ew) · V[iv] — the MAC the cost model counts. [s] holds f;
+   untouched here, so the caller's entry value survives the call. *)
+let[@inline] mac (mv : Dd.view) (e : int) (v : Buf.buffer) (w : Buf.buffer)
+    iv iw (s : weight_scratch) =
   let wid = Dd.edge_wid e in
   let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+  let fre = s.fre and fim = s.fim in
   let gre = (fre *. er) -. (fim *. ei) in
   let gim = (fre *. ei) +. (fim *. er) in
-  let vre = v.(2 * iv) and vim = v.((2 * iv) + 1) in
-  w.(2 * iw) <- w.(2 * iw) +. ((gre *. vre) -. (gim *. vim));
-  w.((2 * iw) + 1) <- w.((2 * iw) + 1) +. ((gre *. vim) +. (gim *. vre))
+  let vre = v.{2 * iv} and vim = v.{(2 * iv) + 1} in
+  w.{2 * iw} <- w.{2 * iw} +. ((gre *. vre) -. (gim *. vim));
+  w.{(2 * iw) + 1} <- w.{(2 * iw) + 1} +. ((gre *. vim) +. (gim *. vre))
 
-let rec run_node (mv : Dd.view) (node : int) (v : float array) (w : float array)
-    iv iw fre fim =
+let rec run_node (mv : Dd.view) (node : int) (v : Buf.buffer) (w : Buf.buffer)
+    iv iw (s : weight_scratch) =
+  let fre = s.fre and fim = s.fim in
   if mv.Dd.lv.(node) = 0 then begin
     (* The children are terminals: perform the (up to) four MACs inline,
-       which halves the visit count of the recursion. *)
+       which halves the visit count of the recursion. [s] still holds
+       this call's weight (mac never writes it). *)
     let base = 4 * node in
     let e00 = mv.Dd.ch.(base) and e01 = mv.Dd.ch.(base + 1) in
     let e10 = mv.Dd.ch.(base + 2) and e11 = mv.Dd.ch.(base + 3) in
-    if e00 <> 0 then mac mv e00 v w iv iw fre fim;
-    if e01 <> 0 then mac mv e01 v w (iv + 1) iw fre fim;
-    if e10 <> 0 then mac mv e10 v w iv (iw + 1) fre fim;
-    if e11 <> 0 then mac mv e11 v w (iv + 1) (iw + 1) fre fim
+    if e00 <> 0 then mac mv e00 v w iv iw s;
+    if e01 <> 0 then mac mv e01 v w (iv + 1) iw s;
+    if e10 <> 0 then mac mv e10 v w iv (iw + 1) s;
+    if e11 <> 0 then mac mv e11 v w (iv + 1) (iw + 1) s
   end
   else if node = 0 then begin
     (* Degenerate n = 0 case (a border task at the terminal). *)
-    let vre = v.(2 * iv) and vim = v.((2 * iv) + 1) in
-    w.(2 * iw) <- w.(2 * iw) +. ((fre *. vre) -. (fim *. vim));
-    w.((2 * iw) + 1) <- w.((2 * iw) + 1) +. ((fre *. vim) +. (fim *. vre))
+    let vre = v.{2 * iv} and vim = v.{(2 * iv) + 1} in
+    w.{2 * iw} <- w.{2 * iw} +. ((fre *. vre) -. (fim *. vim));
+    w.{(2 * iw) + 1} <- w.{(2 * iw) + 1} +. ((fre *. vim) +. (fim *. vre))
   end
   else begin
+    (* Recursive calls clobber [s], so each branch re-derives the child
+       product from this call's locals and re-stores it just before
+       descending. *)
     let half = 1 lsl mv.Dd.lv.(node) in
     let base = 4 * node in
     let e00 = mv.Dd.ch.(base) and e01 = mv.Dd.ch.(base + 1) in
@@ -43,30 +59,30 @@ let rec run_node (mv : Dd.view) (node : int) (v : float array) (w : float array)
     if e00 <> 0 then begin
       let wid = Dd.edge_wid e00 in
       let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
-      run_node mv (Dd.edge_tgt e00) v w iv iw
-        ((fre *. er) -. (fim *. ei))
-        ((fre *. ei) +. (fim *. er))
+      s.fre <- (fre *. er) -. (fim *. ei);
+      s.fim <- (fre *. ei) +. (fim *. er);
+      run_node mv (Dd.edge_tgt e00) v w iv iw s
     end;
     if e01 <> 0 then begin
       let wid = Dd.edge_wid e01 in
       let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
-      run_node mv (Dd.edge_tgt e01) v w (iv + half) iw
-        ((fre *. er) -. (fim *. ei))
-        ((fre *. ei) +. (fim *. er))
+      s.fre <- (fre *. er) -. (fim *. ei);
+      s.fim <- (fre *. ei) +. (fim *. er);
+      run_node mv (Dd.edge_tgt e01) v w (iv + half) iw s
     end;
     if e10 <> 0 then begin
       let wid = Dd.edge_wid e10 in
       let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
-      run_node mv (Dd.edge_tgt e10) v w iv (iw + half)
-        ((fre *. er) -. (fim *. ei))
-        ((fre *. ei) +. (fim *. er))
+      s.fre <- (fre *. er) -. (fim *. ei);
+      s.fim <- (fre *. ei) +. (fim *. er);
+      run_node mv (Dd.edge_tgt e10) v w iv (iw + half) s
     end;
     if e11 <> 0 then begin
       let wid = Dd.edge_wid e11 in
       let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
-      run_node mv (Dd.edge_tgt e11) v w (iv + half) (iw + half)
-        ((fre *. er) -. (fim *. ei))
-        ((fre *. ei) +. (fim *. er))
+      s.fre <- (fre *. er) -. (fim *. ei);
+      s.fim <- (fre *. ei) +. (fim *. er);
+      run_node mv (Dd.edge_tgt e11) v w (iv + half) (iw + half) s
     end
   end
 
@@ -161,10 +177,13 @@ let apply_nocache p ~pool ~n root ~v ~w =
   Pool.run pool (fun u ->
       if u < t then begin
         claim (u * h) ((u + 1) * h);
+        (* One weight scratch per worker, reused across its tasks. *)
+        let s = { fre = 0.0; fim = 0.0 } in
         List.iter
           (fun task ->
-             run_node mv (Dd.mid task.node) vd wd task.start (u * h)
-               task.weight.Cnum.re task.weight.Cnum.im)
+             s.fre <- task.weight.Cnum.re;
+             s.fim <- task.weight.Cnum.im;
+             run_node mv (Dd.mid task.node) vd wd task.start (u * h) s)
           tasks.(u)
       end)
 
@@ -270,6 +289,7 @@ let apply_cache ?workspace p ~pool ~n root ~v ~w =
         let buf = bufs.(v_b.(u)) in
         let cache : (int, Cnum.t * int) Hashtbl.t = Hashtbl.create 16 in
         let vd = v.Buf.data and bd = buf.Buf.data in
+        let s = { fre = 0.0; fim = 0.0 } in
         List.iter
           (fun task ->
              claim u task.start;
@@ -281,8 +301,9 @@ let apply_cache ?workspace p ~pool ~n root ~v ~w =
                Buf.scale_into ~src:buf ~src_pos:ip0 ~dst:buf ~dst_pos:task.start
                  ~len:h (Cnum.div task.weight f0)
              | None ->
-               run_node mv (Dd.mid task.node) vd bd (u * h) task.start
-                 task.weight.Cnum.re task.weight.Cnum.im;
+               s.fre <- task.weight.Cnum.re;
+               s.fim <- task.weight.Cnum.im;
+               run_node mv (Dd.mid task.node) vd bd (u * h) task.start s;
                Hashtbl.replace cache (Dd.mid task.node) (task.weight, task.start))
           tasks.(u)
       end);

@@ -1,0 +1,216 @@
+(* Precision-generic DMAV kernels (ISSUE 10).
+
+   A functor-body port of the [Dmav] kernels over an arbitrary storage
+   kind [P : Storage.S]: same Assign traversals (shared via
+   [Dmav.assign_rows]/[assign_cols]), same Run recursion, same
+   cache/buffer logic, with every buffer access going through [P]'s
+   kind-specialized unboxed primitives. Weights always stay f64 — they
+   come off the ctable planes — so at [F32] the only rounding happens on
+   the store into W, and the inline complex arithmetic matches the
+   specialized [Dmav] term for term: [Make (Storage.F64)] produces
+   bit-identical output to [Dmav.apply] (pinned by tests).
+
+   [Dmav] itself is kept hand-specialized on [Buf] (= [Storage.F64])
+   rather than routed through this functor because the functor argument's
+   primitives are indirect calls — fine for the f32 twin, not acceptable
+   as a regression on the default f64 hot path.
+
+   Kernels here are uninstrumented ([Obs] counters are global names, and
+   the functor may be instantiated several times); the Check-mode claim
+   discipline is replicated in full. *)
+
+module Make (P : Storage.S) = struct
+  let[@inline] mac (mv : Dd.view) (e : int) (v : P.t) (w : P.t) iv iw fre fim =
+    let wid = Dd.edge_wid e in
+    let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+    let gre = (fre *. er) -. (fim *. ei) in
+    let gim = (fre *. ei) +. (fim *. er) in
+    P.madd2 w iw ~wre:gre ~wim:gim ~xre:(P.get_re v iv) ~xim:(P.get_im v iv)
+
+  let rec run_node (mv : Dd.view) (node : int) (v : P.t) (w : P.t) iv iw fre fim =
+    if mv.Dd.lv.(node) = 0 then begin
+      let base = 4 * node in
+      let e00 = mv.Dd.ch.(base) and e01 = mv.Dd.ch.(base + 1) in
+      let e10 = mv.Dd.ch.(base + 2) and e11 = mv.Dd.ch.(base + 3) in
+      if e00 <> 0 then mac mv e00 v w iv iw fre fim;
+      if e01 <> 0 then mac mv e01 v w (iv + 1) iw fre fim;
+      if e10 <> 0 then mac mv e10 v w iv (iw + 1) fre fim;
+      if e11 <> 0 then mac mv e11 v w (iv + 1) (iw + 1) fre fim
+    end
+    else if node = 0 then
+      P.madd2 w iw ~wre:fre ~wim:fim ~xre:(P.get_re v iv) ~xim:(P.get_im v iv)
+    else begin
+      let half = 1 lsl mv.Dd.lv.(node) in
+      let base = 4 * node in
+      let e00 = mv.Dd.ch.(base) and e01 = mv.Dd.ch.(base + 1) in
+      let e10 = mv.Dd.ch.(base + 2) and e11 = mv.Dd.ch.(base + 3) in
+      let descend e iv iw =
+        let wid = Dd.edge_wid e in
+        let er = mv.Dd.re.(wid) and ei = mv.Dd.im.(wid) in
+        run_node mv (Dd.edge_tgt e) v w iv iw
+          ((fre *. er) -. (fim *. ei))
+          ((fre *. ei) +. (fim *. er))
+      in
+      if e00 <> 0 then descend e00 iv iw;
+      if e01 <> 0 then descend e01 (iv + half) iw;
+      if e10 <> 0 then descend e10 iv (iw + half);
+      if e11 <> 0 then descend e11 (iv + half) (iw + half)
+    end
+
+  let apply_nocache p ~pool ~n root ~v ~w =
+    if P.length v <> 1 lsl n || P.length w <> 1 lsl n then
+      invalid_arg "Dmav_generic.apply_nocache: buffer size mismatch";
+    let t = Cost.pow2_threads ~n (Pool.size pool) in
+    let h = (1 lsl n) / t in
+    let tasks = Dmav.assign_rows p ~n ~t root in
+    let mv = Dd.mview p in
+    P.fill_zero w;
+    let claim =
+      if Check.enabled () then begin
+        let r = Check.region ~name:("dmav." ^ P.label ^ ".w") in
+        fun lo hi -> Check.claim r ~owner:(Domain.self () :> int) ~lo ~hi
+      end
+      else fun _ _ -> ()
+    in
+    Pool.run pool (fun u ->
+        if u < t then begin
+          claim (u * h) ((u + 1) * h);
+          List.iter
+            (fun (task : Dmav.task) ->
+               run_node mv (Dd.mid task.Dmav.node) v w task.Dmav.start (u * h)
+                 task.Dmav.weight.Cnum.re task.Dmav.weight.Cnum.im)
+            tasks.(u)
+        end)
+
+  type workspace = { ws_n : int; mutable free : P.t list }
+
+  let workspace ~n = { ws_n = n; free = [] }
+  let free_buffers ws = List.length ws.free
+
+  let take ws =
+    match ws.free with
+    | b :: rest ->
+      ws.free <- rest;
+      b
+    | [] -> P.create (1 lsl ws.ws_n)
+
+  let give ws b =
+    if P.length b = 1 lsl ws.ws_n then begin
+      if Check.enabled () && List.memq b ws.free then
+        Check.violation "Dmav_generic.give: buffer returned twice";
+      ws.free <- b :: ws.free
+    end
+
+  let take_buffer ws n =
+    match ws with
+    | Some ws when ws.ws_n = n ->
+      (match ws.free with
+       | b :: rest ->
+         ws.free <- rest;
+         b
+       | [] -> P.create (1 lsl n))
+    | _ -> P.create (1 lsl n)
+
+  let return_buffers ws bufs =
+    match ws with
+    | Some ws ->
+      if Check.enabled () then
+        List.iter
+          (fun b ->
+             if List.memq b ws.free then
+               Check.violation "Dmav_generic.return_buffers: buffer returned twice")
+          bufs;
+      ws.free <- List.rev_append bufs ws.free
+    | None -> ()
+
+  let apply_cache ?workspace p ~pool ~n root ~v ~w =
+    if P.length v <> 1 lsl n || P.length w <> 1 lsl n then
+      invalid_arg "Dmav_generic.apply_cache: buffer size mismatch";
+    let t = Cost.pow2_threads ~n (Pool.size pool) in
+    let h = (1 lsl n) / t in
+    let tasks = Dmav.assign_cols p ~n ~t root in
+    let mv = Dd.mview p in
+    let blocks = Array.map (List.map (fun (task : Dmav.task) -> task.Dmav.start)) tasks in
+    let v_b, n_buffers = Cost.allocate_buffers blocks in
+    let bufs = Array.init n_buffers (fun _ -> take_buffer workspace n) in
+    let occupied = Array.make n_buffers [] in
+    let occ_seen : (int, unit) Hashtbl.t array =
+      Array.init n_buffers (fun _ -> Hashtbl.create 16)
+    in
+    Array.iteri
+      (fun u blks ->
+         let bi = v_b.(u) in
+         let seen = occ_seen.(bi) in
+         List.iter
+           (fun b ->
+              if not (Hashtbl.mem seen b) then begin
+                Hashtbl.replace seen b ();
+                occupied.(bi) <- b :: occupied.(bi)
+              end)
+           blks)
+      blocks;
+    Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n_buffers (fun bi ->
+        List.iter (fun blk -> P.fill_zero_range bufs.(bi) ~pos:blk ~len:h) occupied.(bi));
+    let hits = ref 0 in
+    let hit_counts = Array.make t 0 in
+    let claim =
+      if Check.enabled () then begin
+        let regions =
+          Array.init n_buffers (fun i ->
+              Check.region ~name:(Printf.sprintf "dmav.%s.buf%d" P.label i))
+        in
+        fun u blk ->
+          Check.claim regions.(v_b.(u)) ~owner:(Domain.self () :> int) ~lo:blk
+            ~hi:(blk + h)
+      end
+      else fun _ _ -> ()
+    in
+    Pool.run pool (fun u ->
+        if u < t then begin
+          let buf = bufs.(v_b.(u)) in
+          let cache : (int, Cnum.t * int) Hashtbl.t = Hashtbl.create 16 in
+          List.iter
+            (fun (task : Dmav.task) ->
+               claim u task.Dmav.start;
+               match Hashtbl.find_opt cache (Dd.mid task.Dmav.node) with
+               | Some (f0, ip0) ->
+                 hit_counts.(u) <- hit_counts.(u) + 1;
+                 P.scale_into ~src:buf ~src_pos:ip0 ~dst:buf ~dst_pos:task.Dmav.start
+                   ~len:h (Cnum.div task.Dmav.weight f0)
+               | None ->
+                 run_node mv (Dd.mid task.Dmav.node) v buf (u * h) task.Dmav.start
+                   task.Dmav.weight.Cnum.re task.Dmav.weight.Cnum.im;
+                 Hashtbl.replace cache (Dd.mid task.Dmav.node)
+                   (task.Dmav.weight, task.Dmav.start))
+            tasks.(u)
+        end);
+    Array.iter (fun c -> hits := !hits + c) hit_counts;
+    let contributors = Array.make t [] in
+    Array.iteri
+      (fun bi blks ->
+         List.iter (fun blk -> contributors.(blk / h) <- bi :: contributors.(blk / h)) blks)
+      occupied;
+    P.fill_zero w;
+    Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:t (fun blk ->
+        List.iter
+          (fun bi ->
+             P.add_into ~src:bufs.(bi) ~src_pos:(blk * h) ~dst:w ~dst_pos:(blk * h)
+               ~len:h)
+          contributors.(blk));
+    return_buffers workspace (Array.to_list bufs);
+    (!hits, n_buffers)
+
+  let apply_decided ?workspace:ws p ~pool ~n (decision : Cost.decision) root ~v ~w =
+    if decision.Cost.cached then begin
+      let hits, buffers = apply_cache ?workspace:ws p ~pool ~n root ~v ~w in
+      { Dmav.used_cache = true; decision; cache_hits = hits; buffers_used = buffers }
+    end
+    else begin
+      apply_nocache p ~pool ~n root ~v ~w;
+      { Dmav.used_cache = false; decision; cache_hits = 0; buffers_used = 0 }
+    end
+
+  let apply ?workspace:ws p ~pool ~simd_width ~n root ~v ~w =
+    let decision = Cost.decide p ~n ~threads:(Pool.size pool) ~simd_width root in
+    apply_decided ?workspace:ws p ~pool ~n decision root ~v ~w
+end

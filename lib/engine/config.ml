@@ -29,6 +29,20 @@ let order_of_name = function
   | "sift" -> Some Sift_order
   | _ -> None
 
+(* Numeric precision of the flat amplitude plane (ISSUE 10). [F64] is the
+   default and keeps every fingerprint byte-identical to the pre-storage
+   refactor; [F32] halves the bytes streamed per flat-phase gate at a
+   bounded accuracy cost (stores round to nearest float32). The DD phase
+   always computes in f64. *)
+type precision = F64 | F32
+
+let precision_name = function F64 -> "f64" | F32 -> "f32"
+
+let precision_of_name = function
+  | "f64" -> Some F64
+  | "f32" -> Some F32
+  | _ -> None
+
 type t = {
   threads : int;
   beta : float;
@@ -42,6 +56,7 @@ type t = {
   dd_domains : int;
   dd_task_depth : int;
   order : order_mode;
+  precision : precision;
 }
 
 let default =
@@ -56,7 +71,8 @@ let default =
     dense_dispatch = false;
     dd_domains = 1;
     dd_task_depth = 0;
-    order = No_order }
+    order = No_order;
+    precision = F64 }
 
 let with_threads threads t = { t with threads }
 let with_dd_domains dd_domains t = { t with dd_domains }

@@ -20,6 +20,15 @@ val order_name : order_mode -> string
 
 val order_of_name : string -> order_mode option
 
+type precision =
+  | F64  (** double precision — the default, byte-identical results *)
+  | F32  (** float32 amplitude plane — half the bytes per flat-phase gate *)
+
+val precision_name : precision -> string
+(** ["f64"] / ["f32"] — the CLI/manifest spelling. *)
+
+val precision_of_name : string -> precision option
+
 type t = {
   threads : int;          (** total worker parallelism (≥ 1) *)
   beta : float;           (** EWMA smoothing, paper uses 0.9 *)
@@ -45,6 +54,11 @@ type t = {
   order : order_mode;
   (** Qubit-order policy (`--order`). Results are always reported in the
       logical basis regardless of this setting. *)
+  precision : precision;
+  (** Amplitude-plane precision (`--precision`). [F32] routes the flat
+      phase (and the dense reference engine) through the float32 storage
+      kind; extracted amplitudes are widened back to f64. The DD phase and
+      its ctable weights always stay f64. *)
 }
 
 val default : t

@@ -1,0 +1,34 @@
+(* Dense direct application on a float32 amplitude plane: the f32 twin of
+   [Dense_engine], registered through the same ENGINE signature. The state
+   is a bare [Storage.F32.t]; [extract] widens to the f64 [Flat_state] the
+   driver's result type carries, so downstream consumers (fingerprints,
+   differential tests) never see the storage kind — only its rounding. *)
+
+module K = Dense_kernel.Make (Storage.F32)
+
+type state = {
+  ctx : Engine.ctx;
+  n : int;
+  amps : Storage.F32.t;
+}
+
+let name = "dense32"
+let trace_phase = Engine.Dmav_phase
+
+let init (ctx : Engine.ctx) ~n = { ctx; n; amps = K.zero_state n }
+
+let apply_op st (xo : Engine.exec_op) =
+  match xo.Engine.xo_op with
+  | None -> invalid_arg "Dense32_engine.apply_op: fused matrices have no dense kernel"
+  | Some op ->
+    K.op ~pool:st.ctx.Engine.pool ~n:st.n st.amps op;
+    { Engine.no_stats with
+      Engine.gs_dispatch = Some Engine.Dense_direct;
+      gs_modeled_macs = Cost.dense_direct_macs ~n:st.n op }
+
+let size_metric _ = 0
+let memory_bytes st = Storage.F32.memory_bytes st.amps
+let compact _ = ()
+let observe _ = ()
+let extract st = Engine.Flat_state (Storage.promote st.amps)
+let finalize _ = ()

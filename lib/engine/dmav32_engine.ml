@@ -1,0 +1,97 @@
+(* The flat-array engine on a float32 amplitude plane: the f32 twin of
+   [Dmav_engine] behind the same ENGINE signature, running the
+   precision-generic [Dmav_generic] kernels. The DD package (and therefore
+   every gate matrix and ctable weight) stays f64; rounding happens only
+   on stores into the f32 V/W buffers. Scratch buffers come from the
+   engine's own f32 workspace — the shared ctx workspace is f64-sized and
+   typed, so the f32 pair cannot alias it. [extract] widens the final
+   vector to the f64 [Flat_state] the driver's result type carries. *)
+
+module K = Dmav_generic.Make (Storage.F32)
+module DK = Dense_kernel.Make (Storage.F32)
+
+type state = {
+  ctx : Engine.ctx;
+  n : int;
+  ws : K.workspace;
+  mutable v : Storage.F32.t;
+  mutable w : Storage.F32.t;
+  mutable max_buffers : int;
+}
+
+let name = "dmav32"
+let trace_phase = Engine.Dmav_phase
+
+(* Seat the engine on an existing f32 amplitude vector — the driver's
+   DD→flat conversion demotes its f64 output once and hands it in here. *)
+let of_buf (ctx : Engine.ctx) ~n buf =
+  if Storage.F32.length buf <> 1 lsl n then
+    invalid_arg "Dmav32_engine.of_buf: wrong length";
+  let ws = K.workspace ~n in
+  { ctx; n; ws; v = buf; w = K.take ws; max_buffers = 0 }
+
+let init (ctx : Engine.ctx) ~n =
+  let v = Storage.F32.create (1 lsl n) in
+  Storage.F32.set2 v 0 1.0 0.0;
+  of_buf ctx ~n v
+
+let mat_of st (xo : Engine.exec_op) =
+  match xo.Engine.xo_mat with
+  | Some m -> m
+  | None ->
+    (match xo.Engine.xo_op with
+     | Some op -> Mat_dd.of_op st.ctx.Engine.package ~n:st.n op
+     | None -> invalid_arg "Dmav32_engine.apply_op: op without matrix or circuit op")
+
+let apply_dmav st (xo : Engine.exec_op) decided =
+  let m = mat_of st xo in
+  let s =
+    match decided with
+    | Some decision ->
+      K.apply_decided ~workspace:st.ws st.ctx.Engine.package
+        ~pool:st.ctx.Engine.pool ~n:st.n decision m ~v:st.v ~w:st.w
+    | None ->
+      K.apply ~workspace:st.ws st.ctx.Engine.package ~pool:st.ctx.Engine.pool
+        ~simd_width:st.ctx.Engine.cfg.Config.simd_width ~n:st.n m ~v:st.v ~w:st.w
+  in
+  if s.Dmav.buffers_used > st.max_buffers then st.max_buffers <- s.Dmav.buffers_used;
+  let tmp = st.v in
+  st.v <- st.w;
+  st.w <- tmp;
+  { Engine.gs_cached = Some s.Dmav.used_cache;
+    gs_dispatch =
+      Some (if s.Dmav.used_cache then Engine.Dmav_cached else Engine.Dmav_uncached);
+    gs_cache_hits = s.Dmav.cache_hits;
+    gs_buffers_used = s.Dmav.buffers_used;
+    gs_modeled_macs = Cost.modeled_macs s.Dmav.decision }
+
+let apply_op st (xo : Engine.exec_op) =
+  match xo.Engine.xo_dispatch with
+  | Some ({ Cost.kernel = Cost.Dense_kernel; _ } as disp) ->
+    let op =
+      match xo.Engine.xo_op with
+      | Some op -> op
+      | None -> invalid_arg "Dmav32_engine.apply_op: dense dispatch on a fused gate"
+    in
+    DK.op ~pool:st.ctx.Engine.pool ~n:st.n st.v op;
+    { Engine.no_stats with
+      Engine.gs_dispatch = Some Engine.Dense_direct;
+      gs_modeled_macs = Cost.dispatch_modeled_macs disp }
+  | Some { Cost.dmav; _ } -> apply_dmav st xo (Some dmav)
+  | None -> apply_dmav st xo None
+
+let size_metric _ = 0
+
+let memory_bytes st =
+  ((2 + st.max_buffers) * (Storage.F32.buffer_bytes ~len:(1 lsl st.n) + 24))
+  + Dd.memory_bytes st.ctx.Engine.package
+
+let compact _ = ()
+let observe st = Dd.observe_gauges st.ctx.Engine.package
+
+let extract st = Engine.Flat_state (Storage.promote st.v)
+
+let finalize st =
+  (* The f32 workspace dies with the engine; nothing to hand back. *)
+  K.give st.ws st.w;
+  K.give st.ws st.v

@@ -358,22 +358,35 @@ let run ?cancel ?pool ?package ?workspace (cfg : Config.t) (c : Circuit.t) =
                  let plan, fstats = flat_plan ctx ~n ~first_index:!i remaining in
                  fusion_stats := fstats;
                  Obs.add c_dmav_gates (List.length plan);
-                 let eng = Dmav_engine.of_buf ctx ~n buf in
-                 fe := Some eng;
-                 List.iter
-                   (fun xo ->
-                      ignore
-                        (step (module Dmav_engine) eng acc ~check_cancel
-                           ~ewma:(Ewma.value monitor) xo))
-                   plan;
-                 acc.bump_mem (Dmav_engine.memory_bytes eng))
+                 (* Precision branch: at [F32] the converted f64 buffer is
+                    demoted once — the single rounding hand-off — and the
+                    flat phase runs on the f32 engine twin. *)
+                 (match cfg.Config.precision with
+                  | Config.F64 ->
+                    fe := Some (Engine.Packed ((module Dmav_engine), Dmav_engine.of_buf ctx ~n buf))
+                  | Config.F32 ->
+                    fe :=
+                      Some
+                        (Engine.Packed
+                           ((module Dmav32_engine),
+                            Dmav32_engine.of_buf ctx ~n (Storage.demote buf))));
+                 match !fe with
+                 | None -> ()
+                 | Some (Engine.Packed ((module E), eng)) ->
+                   List.iter
+                     (fun xo ->
+                        ignore
+                          (step (module E) eng acc ~check_cancel
+                             ~ewma:(Ewma.value monitor) xo))
+                     plan;
+                   acc.bump_mem (E.memory_bytes eng))
            in
            (match !fe with
             | None -> ()
-            | Some eng ->
-              Dmav_engine.observe eng;
-              final := Some (Dmav_engine.extract eng);
-              Dmav_engine.finalize eng);
+            | Some (Engine.Packed ((module E), eng)) ->
+              E.observe eng;
+              final := Some (E.extract eng);
+              E.finalize eng);
            dt
        in
 

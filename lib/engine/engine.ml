@@ -31,8 +31,12 @@ type final_state =
   | Dd_state of { package : Dd.package; edge : Dd.vedge }
   | Flat_state of Buf.t
 
-(* Modeled bytes of the flat phase: V, W and the partial-output buffers. *)
-let memory_bytes_flat n ~buffers = (2 + buffers) * ((16 * (1 lsl n)) + 24)
+(* Modeled bytes of the flat phase: V, W and the partial-output buffers.
+   Exact per-buffer accounting from the storage kind — payload bytes plus
+   the bigarray custom block plus the wrapping record — instead of the old
+   [16·2ⁿ + 24] float-array guess. *)
+let memory_bytes_flat n ~buffers =
+  (2 + buffers) * (Storage.F64.buffer_bytes ~len:(1 lsl n) + 24)
 
 (** What one [apply_op] call did, for the driver's accounting. Engines
     fill only the fields that apply to them (a DD step has no kernel

@@ -44,7 +44,7 @@ let float_field ~where kvs name =
 let known_fields =
   [ "schema"; "id"; "tenant"; "circuit"; "qasm"; "n"; "gates"; "seed"; "priority";
     "deadline_s"; "max_retries"; "beta"; "epsilon"; "compact_every"; "fusion";
-    "policy"; "dd_domains"; "order" ]
+    "policy"; "dd_domains"; "order"; "precision" ]
 
 let schema = "qcs_sched/v1"
 let schema_prefix = "qcs_sched/v"
@@ -164,6 +164,13 @@ let parse_line ?(default_config = Config.default) ?(base_seed = 1) ?(dir = ".")
       | Some (Jstr s) when Config.order_of_name s <> None ->
         { cfg with Config.order = Option.get (Config.order_of_name s) }
       | Some _ -> failf "%s: order is \"none\" | \"static\" | \"sift\"" where
+    in
+    let cfg =
+      match field kvs "precision" with
+      | None -> cfg
+      | Some (Jstr s) when Config.precision_of_name s <> None ->
+        { cfg with Config.precision = Option.get (Config.precision_of_name s) }
+      | Some _ -> failf "%s: precision is \"f64\" | \"f32\"" where
     in
     cfg
   in

@@ -125,6 +125,12 @@ let pin_line ~dir ?tenant (r : Manifest.resolved) raw =
         (Jstr (Config.order_name r.Manifest.job.Sched.config.Config.order))
   in
   let kvs =
+    if List.mem_assoc "precision" kvs then kvs
+    else
+      Protocol.set_field kvs "precision"
+        (Jstr (Config.precision_name r.Manifest.job.Sched.config.Config.precision))
+  in
+  let kvs =
     match tenant, List.assoc_opt "tenant" kvs with
     | Some tenant, None -> Protocol.set_field kvs "tenant" (Jstr tenant)
     | _ -> kvs

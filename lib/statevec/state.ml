@@ -18,7 +18,9 @@ let of_buf n amps =
 let copy t = { t with amps = Buf.copy t.amps }
 let dim t = 1 lsl t.n
 let amplitude t i = Buf.get t.amps i
-let probability t i = Cnum.norm2 (Buf.get t.amps i)
+let probability t i =
+  let re = Buf.get_re t.amps i and im = Buf.get_im t.amps i in
+  (re *. re) +. (im *. im)
 let norm2 t = Buf.norm2 t.amps
 
 let renormalize t =
@@ -51,7 +53,7 @@ let measure_qubit ?rng t q =
   done;
   let outcome = if Rng.float rng 1.0 < !p1 then 1 else 0 in
   for i = 0 to dim t - 1 do
-    if Bits.bit i q <> outcome then Buf.set t.amps i Cnum.zero
+    if Bits.bit i q <> outcome then Buf.set2 t.amps i 0.0 0.0
   done;
   renormalize t;
   outcome
@@ -92,20 +94,32 @@ let expectation_string t factors =
        | I -> ()
        | p ->
          let m = pauli_matrix p in
+         let m00 = m.(0).(0) and m01 = m.(0).(1) in
+         let m10 = m.(1).(0) and m11 = m.(1).(1) in
          let half = dim t / 2 in
          for k = 0 to half - 1 do
            let i0 = Bits.insert_bit k q 0 in
            let i1 = Bits.set_bit i0 q in
-           let a0 = Buf.get phi.amps i0 and a1 = Buf.get phi.amps i1 in
-           Buf.set phi.amps i0 (Cnum.add (Cnum.mul m.(0).(0) a0) (Cnum.mul m.(0).(1) a1));
-           Buf.set phi.amps i1 (Cnum.add (Cnum.mul m.(1).(0) a0) (Cnum.mul m.(1).(1) a1))
+           let a0re = Buf.get_re phi.amps i0 and a0im = Buf.get_im phi.amps i0 in
+           let a1re = Buf.get_re phi.amps i1 and a1im = Buf.get_im phi.amps i1 in
+           Buf.set2 phi.amps i0
+             (((m00.Cnum.re *. a0re) -. (m00.Cnum.im *. a0im))
+              +. ((m01.Cnum.re *. a1re) -. (m01.Cnum.im *. a1im)))
+             (((m00.Cnum.re *. a0im) +. (m00.Cnum.im *. a0re))
+              +. ((m01.Cnum.re *. a1im) +. (m01.Cnum.im *. a1re)));
+           Buf.set2 phi.amps i1
+             (((m10.Cnum.re *. a0re) -. (m10.Cnum.im *. a0im))
+              +. ((m11.Cnum.re *. a1re) -. (m11.Cnum.im *. a1im)))
+             (((m10.Cnum.re *. a0im) +. (m10.Cnum.im *. a0re))
+              +. ((m11.Cnum.re *. a1im) +. (m11.Cnum.im *. a1re)))
          done)
     factors;
   (* Re <psi|phi> — expectation of a Hermitian operator is real. *)
   let re = ref 0.0 in
   for i = 0 to dim t - 1 do
-    let a = Buf.get t.amps i and b = Buf.get phi.amps i in
-    re := !re +. ((a.Cnum.re *. b.Cnum.re) +. (a.Cnum.im *. b.Cnum.im))
+    let are = Buf.get_re t.amps i and aim = Buf.get_im t.amps i in
+    let bre = Buf.get_re phi.amps i and bim = Buf.get_im phi.amps i in
+    re := !re +. ((are *. bre) +. (aim *. bim))
   done;
   !re
 

@@ -109,8 +109,15 @@ let test_sub_vector () =
   ceq "content 2" (Cnum.of_float 4.0) (Buf.get s 1)
 
 let test_memory () =
-  Alcotest.(check bool) "16 bytes per amplitude" true
-    (Buf.memory_bytes (Buf.create 1024) >= 16 * 1024)
+  (* Exact accounting: payload + the bigarray custom block + the record.
+     The old float-array guess (16·len + 24) undercounted the header and
+     is what PR 10's Driver peak-memory fix replaced. *)
+  Alcotest.(check int) "f64 exact bytes"
+    ((16 * 1024) + Storage.bigarray_header_bytes + 24)
+    (Buf.memory_bytes (Buf.create 1024));
+  Alcotest.(check int) "f32 exact bytes"
+    ((8 * 1024) + Storage.bigarray_header_bytes + 24)
+    (Storage.F32.memory_bytes (Storage.F32.create 1024))
 
 let prop_scale_then_unscale =
   QCheck.Test.make ~name:"scaling by s then 1/s restores the block" ~count:100
@@ -139,6 +146,52 @@ let prop_add_commutes_with_scale2 =
        Buf.add_into ~src:tmp ~src_pos:0 ~dst:d2 ~dst_pos:0 ~len:12;
        Buf.max_abs_diff d1 d2 < 1e-12)
 
+(* The same round-trip nets over both storage precisions, through the
+   Storage.S abstraction the PR-10 refactor introduced. [eps] absorbs the
+   one rounding per store that f32 pays; f64 must be exact. *)
+let storage_roundtrip (module P : Storage.S) eps =
+  QCheck.Test.make
+    ~name:(P.label ^ ": of_array/to_array round-trips within " ^ string_of_float eps)
+    ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 64)
+        (pair (float_range (-4.0) 4.0) (float_range (-4.0) 4.0)))
+    (fun pairs ->
+       let arr = Array.of_list (List.map (fun (re, im) -> Cnum.make re im) pairs) in
+       let b = P.of_array arr in
+       let back = P.to_array b in
+       Array.length back = Array.length arr
+       && Array.for_all2
+            (fun (a : Cnum.t) (c : Cnum.t) ->
+               Float.abs (a.Cnum.re -. c.Cnum.re) <= eps
+               && Float.abs (a.Cnum.im -. c.Cnum.im) <= eps)
+            arr back)
+
+let storage_set2_get (module P : Storage.S) eps =
+  QCheck.Test.make ~name:(P.label ^ ": set2 then get_re/get_im") ~count:100
+    QCheck.(pair (float_range (-8.0) 8.0) (float_range (-8.0) 8.0))
+    (fun (re, im) ->
+       let b = P.create 4 in
+       P.set2 b 2 re im;
+       Float.abs (P.get_re b 2 -. re) <= eps
+       && Float.abs (P.get_im b 2 -. im) <= eps
+       && P.get_re b 1 = 0.0 && P.get_im b 3 = 0.0)
+
+let prop_demote_promote =
+  QCheck.Test.make ~name:"promote (demote b) is b up to one f32 rounding" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 32)
+        (pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0)))
+    (fun pairs ->
+       let arr = Array.of_list (List.map (fun (re, im) -> Cnum.make re im) pairs) in
+       let b = Buf.of_array arr in
+       let f32 = Storage.demote b in
+       let back = Storage.promote f32 in
+       Buf.max_abs_diff b back <= 1e-6
+       (* and the mixed-precision diff agrees with the widened one *)
+       && Float.abs (Storage.max_abs_diff_mixed b f32 -. Buf.max_abs_diff b back)
+          <= 1e-12)
+
 let suite =
   [ ( "buf",
       [ Alcotest.test_case "create/get/set" `Quick test_create_get_set;
@@ -156,4 +209,9 @@ let suite =
         Alcotest.test_case "sub_vector" `Quick test_sub_vector;
         Alcotest.test_case "memory accounting" `Quick test_memory;
         QCheck_alcotest.to_alcotest prop_scale_then_unscale;
-        QCheck_alcotest.to_alcotest prop_add_commutes_with_scale2 ] ) ]
+        QCheck_alcotest.to_alcotest prop_add_commutes_with_scale2;
+        QCheck_alcotest.to_alcotest (storage_roundtrip (module Storage.F64) 0.0);
+        QCheck_alcotest.to_alcotest (storage_roundtrip (module Storage.F32) 5e-7);
+        QCheck_alcotest.to_alcotest (storage_set2_get (module Storage.F64) 0.0);
+        QCheck_alcotest.to_alcotest (storage_set2_get (module Storage.F32) 1e-6);
+        QCheck_alcotest.to_alcotest prop_demote_promote ] ) ]

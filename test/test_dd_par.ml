@@ -28,11 +28,10 @@ let circuit_for seed =
 let check_bits_equal msg (a : Buf.t) (b : Buf.t) =
   Alcotest.(check int) (msg ^ ": length") (Buf.length a) (Buf.length b);
   let da = a.Buf.data and db = b.Buf.data in
-  Array.iteri
-    (fun i x ->
-       if Int64.bits_of_float x <> Int64.bits_of_float db.(i) then
-         Alcotest.failf "%s: float %d differs: %h vs %h" msg i x db.(i))
-    da
+  for i = 0 to Bigarray.Array1.dim da - 1 do
+    if Int64.bits_of_float da.{i} <> Int64.bits_of_float db.{i} then
+      Alcotest.failf "%s: float %d differs: %h vs %h" msg i da.{i} db.{i}
+  done
 
 let amps ?compact_every ?domains seed =
   let n = qubits_for seed in

@@ -142,6 +142,33 @@ let test_node_alloc_outside_arena () =
     "(* qcs-lint: allow node-alloc-outside-arena *)\n\
      let f w t = (w lsl 31) lor t\n"
 
+let test_boxed_cnum_in_hot_loop () =
+  check_flagged "Cnum.mul in a for loop" ~path:"lib/dmav/fixture.ml"
+    ~rule:"boxed-cnum-in-hot-loop"
+    "let f w v = for i = 0 to 3 do ignore (Cnum.mul w v.(i)) done\n";
+  check_flagged "Buf.get in a while loop" ~path:"lib/convert/fixture.ml"
+    ~rule:"boxed-cnum-in-hot-loop"
+    "let f b = let i = ref 0 in while !i < 4 do ignore (Buf.get b !i); incr i done\n";
+  check_flagged "Buf.set in a nested loop" ~path:"lib/statevec/fixture.ml"
+    ~rule:"boxed-cnum-in-hot-loop"
+    "let f b = for i = 0 to 1 do for j = 0 to 1 do Buf.set b (2*i+j) Cnum.zero done done\n";
+  (* Nested-loop dedup: the Cnum.make is inside both bodies but must
+     report exactly once. *)
+  Alcotest.(check int) "nested loop reports once" 1
+    (List.length
+       (rules_of
+          (lint ~path:"lib/dmav/fixture.ml"
+             "let f a = for i = 0 to 1 do for j = 0 to 1 do a.(i+j) <- Cnum.make 0.0 0.0 done done\n")));
+  check_clean "boxed call outside a loop is per-gate, fine"
+    ~path:"lib/dmav/fixture.ml" "let f w x = Cnum.mul w x\n";
+  check_clean "unboxed primitives are the point" ~path:"lib/dmav/fixture.ml"
+    "let f b = for i = 0 to 3 do Buf.set2 b i (Buf.get_re b i) 0.0 done\n";
+  check_clean "cold libraries are out of scope" ~path:"lib/engine/fixture.ml"
+    "let f w v = for i = 0 to 3 do ignore (Cnum.mul w v.(i)) done\n";
+  check_clean "suppressed" ~path:"lib/dmav/fixture.ml"
+    "(* qcs-lint: allow boxed-cnum-in-hot-loop *)\n\
+     let f w v = for i = 0 to 3 do ignore (Cnum.mul w v.(i)) done\n"
+
 let test_todo_marker () =
   let fs = lint ("let x = 1 (* " ^ todo_word ^ ": later *)\n") in
   Alcotest.(check bool) "marker flagged" true (List.mem "todo-marker" (rules_of fs));
@@ -456,6 +483,7 @@ let suite =
         Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
         Alcotest.test_case "node-alloc-outside-arena" `Quick
           test_node_alloc_outside_arena;
+        Alcotest.test_case "boxed-cnum-in-hot-loop" `Quick test_boxed_cnum_in_hot_loop;
         Alcotest.test_case "todo-marker" `Quick test_todo_marker;
         Alcotest.test_case "allow-all suppression" `Quick test_suppress_all;
         Alcotest.test_case "allowlist prefixes" `Quick test_allowlist;

@@ -33,4 +33,5 @@ let () =
          Test_sched.suite;
          Test_manifest.suite;
          Test_serve.suite;
-         Test_order.suite ])
+         Test_order.suite;
+         Test_precision.suite ])
